@@ -1,0 +1,36 @@
+# pared — build, test and reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test race bench cover reproduce full-assert clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test ./internal/... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper (~10 minutes).
+reproduce:
+	mkdir -p out
+	$(GO) run ./cmd/pnrbench -exp all -svg out | tee out/results_full.log
+
+# Paper-scale assertion tests (the EXPERIMENTS.md claims, executable).
+full-assert:
+	PARED_FULL=1 $(GO) test ./internal/experiments -run TestFullScale -v -timeout 30m
+
+clean:
+	rm -rf out cover.out

@@ -1,0 +1,97 @@
+// Command adapt refines a mesh against one of the built-in model problems
+// and writes the result: the flat leaf mesh (for meshpart), and optionally
+// the full refinement forest (reloadable with its history).
+//
+// Usage:
+//
+//	adapt -in square.mesh -problem corner -tol 1e-4 -out adapted.mesh
+//	adapt -grid 32 -problem transient -t 0.25 -forest state.forest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pared/internal/fem"
+	"pared/internal/forest"
+	"pared/internal/geom"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+	"pared/internal/refine"
+)
+
+func main() {
+	in := flag.String("in", "", "input coarse mesh file (omit to generate a grid)")
+	grid := flag.Int("grid", 32, "generated grid resolution when -in is omitted")
+	problem := flag.String("problem", "corner", "corner|corner3d|transient")
+	tt := flag.Float64("t", 0.0, "time parameter for the transient problem")
+	tol := flag.Float64("tol", 1e-4, "L-infinity refinement tolerance")
+	maxLevel := flag.Int("maxlevel", 20, "maximum refinement depth")
+	out := flag.String("out", "", "write the adapted leaf mesh here")
+	forestOut := flag.String("forest", "", "write the full refinement forest here")
+	flag.Parse()
+
+	var m0 *mesh.Mesh
+	if *in != "" {
+		fh, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		m0, rerr = mesh.ReadFrom(fh)
+		fh.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+	} else if *problem == "corner3d" {
+		m0 = meshgen.BoxTet(*grid, *grid, *grid, -1, -1, -1, 1, 1, 1)
+	} else {
+		m0 = meshgen.RectTri(*grid, *grid, -1, -1, 1, 1)
+	}
+
+	var u func(geom.Vec3) float64
+	switch *problem {
+	case "corner":
+		u = fem.CornerSolution2D
+	case "corner3d":
+		u = fem.CornerSolution3D
+	case "transient":
+		u = fem.TransientSolution(*tt)
+	default:
+		fmt.Fprintf(os.Stderr, "adapt: unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+
+	f := forest.FromMesh(m0)
+	_, passes := refine.AdaptToTolerance(f, fem.InterpolationEstimator(u), *tol, int32(*maxLevel), 40)
+	leaf := f.LeafMesh()
+	fmt.Fprintf(os.Stderr, "adapt: %d -> %d elements in %d passes (depth %d)\n",
+		m0.NumElems(), leaf.Mesh.NumElems(), passes, f.MaxLevel())
+
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := leaf.Mesh.Write(fh); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+	}
+	if *forestOut != "" {
+		fh, err := os.Create(*forestOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Write(fh); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "adapt: %v\n", err)
+	os.Exit(1)
+}

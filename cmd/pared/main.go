@@ -1,0 +1,124 @@
+// Command pared runs the full distributed adaptive pipeline (Figure 2) on a
+// chosen problem: goroutine ranks bootstrap from a coordinator-computed
+// partition, adapt with cross-rank conformal refinement, and rebalance with
+// PNR, RSB or Multilevel-KL at the coordinator.
+//
+// Usage:
+//
+//	pared -p 8 -problem corner -steps 6
+//	pared -p 16 -problem transient -steps 40 -algo rsb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"pared/internal/core"
+	"pared/internal/fem"
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+	"pared/internal/par"
+	"pared/internal/pared"
+	"pared/internal/partition/mlkl"
+	"pared/internal/partition/rsb"
+	"pared/internal/refine"
+)
+
+func main() {
+	p := flag.Int("p", 8, "number of ranks")
+	problem := flag.String("problem", "corner", "corner|transient")
+	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl")
+	grid := flag.Int("grid", 20, "initial mesh resolution")
+	steps := flag.Int("steps", 6, "adaptation steps")
+	tol := flag.Float64("tol", 5e-3, "refinement tolerance")
+	trigger := flag.Float64("trigger", 0.05, "imbalance triggering repartition")
+	traceOn := flag.Bool("trace", false, "emit per-phase timings from every rank")
+	flag.Parse()
+
+	var repart pared.Repartitioner
+	switch *algo {
+	case "pnr":
+		repart = func(g *graph.Graph, old []int32, np int) []int32 {
+			return core.Repartition(g, old, np, core.Config{})
+		}
+	case "rsb":
+		repart = func(g *graph.Graph, old []int32, np int) []int32 {
+			return rsb.Partition(g, np, rsb.Config{})
+		}
+	case "mlkl":
+		repart = func(g *graph.Graph, old []int32, np int) []int32 {
+			return mlkl.Partition(g, np, mlkl.Config{})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pared: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	estimator := func(step int) refine.Estimator {
+		switch *problem {
+		case "corner":
+			return fem.InterpolationEstimator(fem.CornerSolution2D)
+		case "transient":
+			t := -0.5 + float64(step)/float64(maxi(*steps-1, 1))
+			return fem.InterpolationEstimator(fem.TransientSolution(t))
+		default:
+			fmt.Fprintf(os.Stderr, "pared: unknown problem %q\n", *problem)
+			os.Exit(2)
+			return nil
+		}
+	}
+	coarsen := 0.0
+	if *problem == "transient" {
+		coarsen = *tol / 4
+	}
+
+	m0 := meshgen.RectTri(*grid, *grid, -1, -1, 1, 1)
+	var traceMu sync.Mutex
+	err := par.Run(*p, func(c *par.Comm) {
+		e := pared.Bootstrap(c, m0)
+		cfg := pared.Config{Repartition: repart, ImbalanceTrigger: *trigger}
+		if *traceOn {
+			cfg.Trace = func(s string) {
+				traceMu.Lock()
+				fmt.Fprintln(os.Stderr, s)
+				traceMu.Unlock()
+			}
+		}
+		e.SetConfig(cfg)
+		var totalMoved int64
+		for step := 0; step < *steps; step++ {
+			ast := e.Adapt(estimator(step), *tol, coarsen, 18)
+			st := e.Rebalance(false)
+			totalMoved += st.MovedElements
+			if c.Rank() == 0 {
+				fmt.Printf("step %2d: %7d elements, %2d refine rounds", step, ast.GlobalLeaves, ast.Rounds)
+				if st.Ran {
+					fmt.Printf(", rebalanced (moved %d elems, cut %d->%d, imb %.3f)",
+						st.MovedElements, st.CutBefore, st.CutAfter, st.Imbalance)
+				} else {
+					fmt.Printf(", balanced (imb %.3f)", st.Imbalance)
+				}
+				fmt.Println()
+			}
+		}
+		if err := e.CheckConsistency(); err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("total migrated elements over run: %d\n", totalMoved)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pared: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Command pnrbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pnrbench -exp all            # everything, paper scale (minutes)
+//	pnrbench -exp fig3 -quick    # one experiment at test scale (seconds)
+//	pnrbench -exp transient -svg out/
+//
+// Experiments: fig1, fig3, fig4, fig5, fig45_3d, transient (figs 6-8),
+// bound8, thm61, engine, ablation, geo, diffusion, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pared/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|transient|bound8|thm61|engine|all")
+	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
+	svg := flag.String("svg", "", "directory for SVG mesh renderings (fig1, transient)")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	if *svg != "" {
+		if err := os.MkdirAll(*svg, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pnrbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "\n=== %s (scale=%v) ===\n", name, scaleName(scale))
+		f()
+		fmt.Fprintf(w, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	known := "fig1 fig3 fig4 fig5 fig45_3d transient transient3d bound8 thm61 engine ablation geo diffusion all"
+	if !strings.Contains(known, *exp) {
+		fmt.Fprintf(os.Stderr, "pnrbench: unknown experiment %q (want one of %s)\n", *exp, known)
+		os.Exit(2)
+	}
+
+	run("fig1", func() { experiments.Fig1(w, scale, *svg) })
+	run("fig3", func() { experiments.Fig3(w, scale) })
+	run("fig4", func() { experiments.Fig4(w, scale) })
+	run("fig5", func() { experiments.Fig5(w, scale) })
+	run("transient", func() {
+		cfg := experiments.DefaultTransient(scale)
+		cfg.SVGDir = *svg
+		experiments.Transient(w, cfg)
+	})
+	run("fig45_3d", func() { experiments.Fig45For3D(w, scale) })
+	run("transient3d", func() { experiments.Transient3D(w, scale) })
+	run("bound8", func() { experiments.Section8(w, scale) })
+	run("thm61", func() { experiments.Theorem61(w, scale) })
+	run("engine", func() { experiments.EngineDemo(w, scale) })
+	run("ablation", func() { experiments.Ablation(w, scale) })
+	run("geo", func() { experiments.GeoComparison(w, scale) })
+	run("diffusion", func() { experiments.DiffusionComparison(w, scale) })
+}
+
+func scaleName(s experiments.Scale) string {
+	if s == experiments.Quick {
+		return "quick"
+	}
+	return "full"
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a mesh, refine it adaptively, partition it with PNR, and
+// repartition after further refinement — the library's core loop in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pared/internal/core"
+	"pared/internal/fem"
+	"pared/internal/forest"
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+	"pared/internal/refine"
+)
+
+func main() {
+	// 1. An initial coarse mesh of (−1,1)² and its refinement forest.
+	m0 := meshgen.RectTri(16, 16, -1, -1, 1, 1)
+	f := forest.FromMesh(m0)
+
+	// 2. Adapt toward the corner singularity of the Laplace test problem.
+	est := fem.InterpolationEstimator(fem.CornerSolution2D)
+	r, passes := refine.AdaptToTolerance(f, est, 5e-3, 20, 10)
+	fmt.Printf("adapted in %d passes: %d -> %d elements\n", passes, m0.NumElems(), f.NumLeaves())
+
+	// 3. Build the weighted coarse dual graph G (vertex weight = leaves per
+	//    tree, edge weight = adjacent leaf pairs) and partition it with PNR.
+	leaf := f.LeafMesh()
+	g := graph.CoarseDual(m0.NumElems(), leaf.Mesh, leaf.LeafRoot)
+	const p = 8
+	owner := core.Partition(g, p, core.Config{})
+	owner = core.Repartition(g, owner, p, core.Config{})
+	fineParts := make([]int32, leaf.Mesh.NumElems())
+	for e, root := range leaf.LeafRoot {
+		fineParts[e] = owner[root]
+	}
+	fmt.Printf("initial partition: cut=%d sharedVerts=%d imbalance=%.3f\n",
+		partition.EdgeCut(g, owner), leaf.Mesh.SharedVertices(fineParts),
+		partition.Imbalance(g, owner, p))
+
+	// 4. Refine further (tighter tolerance) and repartition: PNR moves only
+	//    what balance requires.
+	refine.AdaptOnce(r, est, 2e-3, 0, 20)
+	leaf = f.LeafMesh()
+	g2 := graph.CoarseDual(m0.NumElems(), leaf.Mesh, leaf.LeafRoot)
+	newOwner := core.Repartition(g2, owner, p, core.Config{})
+	mig := partition.MigrationCost(g2.VW, owner, newOwner)
+	fmt.Printf("after refinement to %d elements: migrated %d elements (%.1f%%), cut=%d, imbalance=%.3f\n",
+		leaf.Mesh.NumElems(), mig, 100*float64(mig)/float64(g2.TotalVW()),
+		partition.EdgeCut(g2, newOwner), partition.Imbalance(g2, newOwner, p))
+
+	if err := leaf.Mesh.Validate(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module pared
+
+go 1.22

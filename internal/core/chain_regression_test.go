@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"testing"
+
+	"pared/internal/core"
+	"pared/internal/experiments"
+	"pared/internal/fem"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+)
+
+// TestChainedSmallStepsMigrateLittle is the regression test for the Figure-5
+// pathology: across a chained growth series, a small refinement step (a few
+// hundred elements) must never trigger a bulk restructure. Historically the
+// multilevel contraction caused ~25% migration spikes at near-balance;
+// Repartition now refines flat in that regime.
+func TestChainedSmallStepsMigrateLittle(t *testing.T) {
+	m0 := meshgen.RectTri(24, 24, -1, -1, 1, 1)
+	est := fem.InterpolationEstimator(fem.CornerSolution2D)
+	steps := experiments.GrowthSeries(m0, est, []int{2500, 5000, 10000}, 40)
+	p := 4
+	var owner []int32
+	for i, step := range steps {
+		if owner == nil {
+			owner = core.Partition(step.Prev.G, p, core.Config{})
+		}
+		owner = core.Repartition(step.Prev.G, owner, p, core.Config{})
+		newOwner := core.Repartition(step.Next.G, owner, p, core.Config{})
+		mig := partition.MigrationCost(step.Next.G.VW, owner, newOwner)
+		total := step.Next.G.TotalVW()
+		delta := int64(step.Next.Leaf.Mesh.NumElems() - step.Prev.Leaf.Mesh.NumElems())
+		// Allow diffusion distance and granularity, but a small step must
+		// stay far from bulk restructuring.
+		if mig > 8*delta+total/50 {
+			t.Errorf("step %d: migrated %d for a +%d-element refinement (total %d)",
+				i, mig, delta, total)
+		}
+		owner = newOwner
+	}
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pared/internal/core"
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+)
+
+// ExampleRepartition shows the core loop: partition a graph, perturb its
+// weights (simulating refinement), and repartition with minimal migration.
+func ExampleRepartition() {
+	m := meshgen.RectTri(8, 8, -1, -1, 1, 1)
+	g := graph.FromDual(m)
+	const p = 4
+
+	owner := core.Partition(g, p, core.Config{})
+	owner = core.Repartition(g, owner, p, core.Config{})
+
+	// "Refine": elements near one corner get heavier.
+	for v := range g.VW {
+		if c := m.Centroid(v); c.X > 0.5 && c.Y > 0.5 {
+			g.VW[v] = 3
+		}
+	}
+	newOwner := core.Repartition(g, owner, p, core.Config{})
+
+	mig := partition.MigrationCost(g.VW, owner, newOwner)
+	fmt.Println("balanced:", partition.Imbalance(g, newOwner, p) < 0.05)
+	fmt.Println("moved less than a quarter of the mesh:", mig < g.TotalVW()/4)
+	// Output:
+	// balanced: true
+	// moved less than a quarter of the mesh: true
+}
+
+// ExampleCost evaluates Equation 1 for a candidate repartition.
+func ExampleCost() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 2)
+	g := b.Build()
+	old := []int32{0, 0, 1, 1}
+	moved := []int32{0, 1, 1, 1} // vertex 1 migrated
+	// cut=2 (edge 0-1), migration=0.1·1, balance=0.8·((1-2)²+(3-2)²)=1.6
+	fmt.Printf("%.1f\n", core.Cost(g, old, moved, 2, 0.1, 0.8))
+
+	// Output:
+	// 3.7
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"container/heap"
+
+	"pared/internal/graph"
+)
+
+// This file implements §9's move-selection structure literally: "we maintain
+// a square table with an entry for each pair of subsets consisting of
+// priority queues based on gains ... we select the vertex movement with
+// largest gain from this table". A move of a vertex between πi and πj
+// changes weight(πi) − weight(πj), which invalidates the balance component
+// of every queued move involving i or j; the paper rebuilds those queues.
+// Here the rebuild is lazy: each pair queue carries an epoch, bumped when
+// either endpoint's weight changes, and stale entries are recomputed when
+// they surface at the top. The selected move is always the true argmax, so
+// the table is interchangeable with the boundary-scan selection in kl.go
+// (runKL); Config.UseGainTable switches between them, and tests cross-check
+// the two.
+
+// tableEntry is a queued candidate move.
+type tableEntry struct {
+	gain  float64
+	v     int32
+	stamp int32 // per-vertex neighbor-update stamp
+	epoch int32 // per-pair weight epoch
+}
+
+type pairQueue []tableEntry
+
+func (q pairQueue) Len() int { return len(q) }
+func (q pairQueue) Less(a, b int) bool {
+	if q[a].gain != q[b].gain {
+		return q[a].gain > q[b].gain
+	}
+	return q[a].v < q[b].v
+}
+func (q pairQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *pairQueue) Push(x any)   { *q = append(*q, x.(tableEntry)) }
+func (q *pairQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// gainTable is the p×p priority-queue table.
+type gainTable struct {
+	g      *graph.Graph
+	p      int
+	cfg    Config
+	orig   []int32
+	parts  []int32
+	partW  []int64
+	stamps []int32
+	epochs []int32 // per pair i*p+j
+	queues []pairQueue
+	locked []bool
+
+	extW    []int64 // scratch
+	touched []int32
+}
+
+func newGainTable(g *graph.Graph, parts, orig []int32, p int, cfg Config) *gainTable {
+	t := &gainTable{
+		g: g, p: p, cfg: cfg, orig: orig, parts: parts,
+		partW:  make([]int64, p),
+		stamps: make([]int32, g.N()),
+		epochs: make([]int32, p*p),
+		queues: make([]pairQueue, p*p),
+		locked: make([]bool, g.N()),
+		extW:   make([]int64, p),
+	}
+	for v := 0; v < g.N(); v++ {
+		t.partW[parts[v]] += g.VW[v]
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		t.pushMoves(v)
+	}
+	return t
+}
+
+// gain computes the full 3-term gain for moving v from its part to j.
+func (t *gainTable) gain(v, j int32, extI, extJ int64) float64 {
+	i := t.parts[v]
+	wv := t.g.VW[v]
+	gc := float64(extJ - extI)
+	gm := 0.0
+	if i == t.orig[v] {
+		gm -= t.cfg.Alpha * float64(wv)
+	}
+	if j == t.orig[v] {
+		gm += t.cfg.Alpha * float64(wv)
+	}
+	gb := 2 * t.cfg.Beta * float64(wv) * float64(t.partW[i]-t.partW[j]-wv)
+	return gc + gm + gb
+}
+
+// pushMoves (re)inserts all candidate moves of boundary vertex v into the
+// queues of pairs (part(v), j) for each adjacent part j.
+func (t *gainTable) pushMoves(v int32) {
+	t.stamps[v]++
+	i := t.parts[v]
+	t.touched = t.touched[:0]
+	t.g.Neighbors(v, func(u int32, w int64) {
+		pu := t.parts[u]
+		if t.extW[pu] == 0 {
+			t.touched = append(t.touched, pu)
+		}
+		t.extW[pu] += w
+	})
+	for _, j := range t.touched {
+		if j == i {
+			continue
+		}
+		q := &t.queues[int(i)*t.p+int(j)]
+		heap.Push(q, tableEntry{
+			gain:  t.gain(v, j, t.extW[i], t.extW[j]),
+			v:     v,
+			stamp: t.stamps[v],
+			epoch: t.epochs[int(i)*t.p+int(j)],
+		})
+	}
+	for _, j := range t.touched {
+		t.extW[j] = 0
+	}
+}
+
+// refreshTop pops invalid entries off queue (i,j) until its top is current,
+// recomputing stale-epoch gains in place.
+func (t *gainTable) refreshTop(i, j int) {
+	q := &t.queues[i*t.p+j]
+	for q.Len() > 0 {
+		top := (*q)[0]
+		if top.stamp != t.stamps[top.v] || t.locked[top.v] || int(t.parts[top.v]) != i {
+			heap.Pop(q)
+			continue
+		}
+		if top.epoch != t.epochs[i*t.p+j] {
+			// Weights of i or j changed: recompute the balance-dependent
+			// gain and reposition the entry.
+			heap.Pop(q)
+			extI, extJ := t.extTo(top.v, int32(i)), t.extTo(top.v, int32(j))
+			heap.Push(q, tableEntry{
+				gain:  t.gain(top.v, int32(j), extI, extJ),
+				v:     top.v,
+				stamp: top.stamp,
+				epoch: t.epochs[i*t.p+j],
+			})
+			continue
+		}
+		return
+	}
+}
+
+// extTo returns the total edge weight from v to part j.
+func (t *gainTable) extTo(v, j int32) int64 {
+	var s int64
+	t.g.Neighbors(v, func(u int32, w int64) {
+		if t.parts[u] == j {
+			s += w
+		}
+	})
+	return s
+}
+
+// selectBest returns the overall best move (v, to, gain), or v = -1.
+func (t *gainTable) selectBest() (v, to int32, gain float64) {
+	v = -1
+	for i := 0; i < t.p; i++ {
+		for j := 0; j < t.p; j++ {
+			if i == j {
+				continue
+			}
+			t.refreshTop(i, j)
+			q := t.queues[i*t.p+j]
+			if q.Len() == 0 {
+				continue
+			}
+			top := q[0]
+			if v < 0 || top.gain > gain || (top.gain == gain && top.v < v) {
+				v, to, gain = top.v, int32(j), top.gain
+			}
+		}
+	}
+	return v, to, gain
+}
+
+// apply executes the move, bumping epochs of affected pairs and refreshing
+// the neighbor candidates.
+func (t *gainTable) apply(v, to int32) {
+	from := t.parts[v]
+	t.parts[v] = to
+	t.partW[from] -= t.g.VW[v]
+	t.partW[to] += t.g.VW[v]
+	t.locked[v] = true
+	t.stamps[v]++
+	for k := 0; k < t.p; k++ {
+		t.epochs[int(from)*t.p+k]++
+		t.epochs[k*t.p+int(from)]++
+		t.epochs[int(to)*t.p+k]++
+		t.epochs[k*t.p+int(to)]++
+	}
+	t.g.Neighbors(v, func(u int32, _ int64) {
+		if !t.locked[u] {
+			t.pushMoves(u)
+		}
+	})
+}
+
+// refineKLTable runs the same KL pass semantics as runKL but selects moves
+// through the §9 gain table. Used when Config.UseGainTable is set.
+func refineKLTable(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
+	n := g.N()
+	if n == 0 || p <= 1 {
+		return
+	}
+	for pass := 0; pass < cfg.Passes; pass++ {
+		t := newGainTable(g, parts, orig, p, cfg)
+		type move struct {
+			v    int32
+			from int32
+		}
+		var moves []move
+		cumGain, bestGain := 0.0, 0.0
+		bestIdx := -1
+		negStreak := 0
+		for {
+			v, to, gain := t.selectBest()
+			if v < 0 {
+				break
+			}
+			from := parts[v]
+			t.apply(v, to)
+			cumGain += gain
+			moves = append(moves, move{v, from})
+			if cumGain > bestGain+1e-9 {
+				bestGain = cumGain
+				bestIdx = len(moves) - 1
+				negStreak = 0
+			} else {
+				negStreak++
+				if negStreak > cfg.MaxNegMoves {
+					break
+				}
+			}
+		}
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			parts[moves[i].v] = moves[i].from
+		}
+		if bestIdx < 0 {
+			break
+		}
+	}
+}

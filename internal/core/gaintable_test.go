@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+)
+
+func TestGainTableMatchesScanQuality(t *testing.T) {
+	// The p×p gain table and the boundary scan both select argmax-gain
+	// moves; tie-breaking can differ, so require the Equation-1 costs to be
+	// close rather than the assignments identical.
+	for _, p := range []int{4, 8} {
+		g, old := refinedScenario(18, p, 5)
+		cfg := Config{}.withDefaults()
+		scan := Repartition(g, old, p, cfg)
+		cfgT := cfg
+		cfgT.UseGainTable = true
+		table := Repartition(g, old, p, cfgT)
+		if err := partition.Check(table, p); err != nil {
+			t.Fatal(err)
+		}
+		cs := Cost(g, old, scan, p, cfg.Alpha, cfg.Beta)
+		ct := Cost(g, old, table, p, cfg.Alpha, cfg.Beta)
+		if ct > 1.25*cs+50 {
+			t.Errorf("p=%d: gain-table cost %v much worse than scan %v", p, ct, cs)
+		}
+		if cs > 1.25*ct+50 {
+			t.Errorf("p=%d: scan cost %v much worse than gain-table %v", p, cs, ct)
+		}
+		if im := partition.Imbalance(g, table, p); im > 0.05 {
+			t.Errorf("p=%d: gain-table imbalance %v", p, im)
+		}
+	}
+}
+
+func TestGainTableSelectsTrueArgmax(t *testing.T) {
+	// On a tiny graph with distinct gains, the table's first selection must
+	// equal a brute-force argmax over all (vertex, target-part) moves.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 5)
+	b.AddEdge(3, 4, 2)
+	b.AddEdge(4, 5, 4)
+	b.AddEdge(0, 5, 1)
+	g := b.Build()
+	for i := range g.VW {
+		g.VW[i] = int64(i + 1)
+	}
+	parts := []int32{0, 0, 1, 1, 2, 2}
+	orig := []int32{0, 0, 1, 1, 2, 2}
+	cfg := Config{}.withDefaults()
+	tab := newGainTable(g, append([]int32(nil), parts...), orig, 3, cfg)
+	v, to, gain := tab.selectBest()
+	bestV, bestTo := int32(-1), int32(-1)
+	bestG := 0.0
+	partW := partition.PartWeights(g, parts, 3)
+	for x := int32(0); x < 6; x++ {
+		for j := int32(0); j < 3; j++ {
+			if j == parts[x] {
+				continue
+			}
+			// Only adjacent parts are candidates in the table.
+			adj := false
+			var extI, extJ int64
+			g.Neighbors(x, func(u int32, w int64) {
+				if parts[u] == j {
+					adj = true
+					extJ += w
+				}
+				if parts[u] == parts[x] {
+					extI += w
+				}
+			})
+			if !adj {
+				continue
+			}
+			wv := g.VW[x]
+			gc := float64(extJ - extI)
+			gm := 0.0
+			if parts[x] == orig[x] {
+				gm -= cfg.Alpha * float64(wv)
+			}
+			if j == orig[x] {
+				gm += cfg.Alpha * float64(wv)
+			}
+			gb := 2 * cfg.Beta * float64(wv) * float64(partW[parts[x]]-partW[j]-wv)
+			gn := gc + gm + gb
+			if bestV < 0 || gn > bestG || (gn == bestG && x < bestV) {
+				bestV, bestTo, bestG = x, j, gn
+			}
+		}
+	}
+	if v != bestV || to != bestTo || gain != bestG {
+		t.Errorf("table selected (%d->%d, %v), brute force (%d->%d, %v)", v, to, gain, bestV, bestTo, bestG)
+	}
+}
+
+func TestGainTableEpochInvalidation(t *testing.T) {
+	// After applying a move, the gains involving the affected parts must be
+	// recomputed: selectBest must still return the true argmax.
+	g := graph.FromDual(meshgen.RectTri(6, 6, 0, 0, 1, 1))
+	parts := make([]int32, g.N())
+	for v := range parts {
+		if v >= g.N()/2 {
+			parts[v] = 1
+		}
+	}
+	orig := append([]int32(nil), parts...)
+	cfg := Config{}.withDefaults()
+	tab := newGainTable(g, parts, orig, 2, cfg)
+	for step := 0; step < 10; step++ {
+		v, to, gain := tab.selectBest()
+		if v < 0 {
+			break
+		}
+		// Recompute this move's gain from scratch; it must match.
+		extI := tab.extTo(v, parts[v])
+		extJ := tab.extTo(v, to)
+		want := tab.gain(v, to, extI, extJ)
+		if gain != want {
+			t.Fatalf("step %d: stale gain %v, want %v", step, gain, want)
+		}
+		tab.apply(v, to)
+	}
+}

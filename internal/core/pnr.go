@@ -1,0 +1,259 @@
+// Package core implements Parallel Nested Repartitioning (PNR), the paper's
+// primary contribution: a repartitioning algorithm for the weighted coarse
+// dual graph G of an adaptively refined mesh that keeps the cut small and the
+// load balanced while migrating very few elements.
+//
+// PNR is a multilevel scheme modified in the two ways §9 describes:
+//
+//  1. the coarsest contracted graph is NOT repartitioned — the current
+//     assignment carries through, so the starting point of refinement is the
+//     existing distribution; and
+//
+//  2. the local refinement is a Kernighan–Lin variant whose gain reflects the
+//     full repartitioning objective of Equation 1:
+//
+//     C_repartition(Π̂, Π, α, β) = C_cut(Π̂) + α·C_migrate(Π, Π̂) + β·C_balance(Π̂)
+//
+// Contraction uses heavy-edge matching restricted to vertices in the same
+// current part, so every coarse vertex inherits an unambiguous assignment.
+// All three gain terms are measured in fine-element units (edge weights count
+// adjacent leaf pairs, vertex weights count leaves), which makes the paper's
+// constants α = 0.1, β = 0.8 commensurable.
+package core
+
+import (
+	"pared/internal/graph"
+	"pared/internal/partition"
+	"pared/internal/partition/mlkl"
+)
+
+// Config tunes PNR. The zero value uses the paper's parameters.
+type Config struct {
+	// Alpha weighs migration cost against cut size (paper: 0.1).
+	Alpha float64
+	// Beta weighs the quadratic balance penalty (paper: 0.8).
+	Beta float64
+	// Eps is the target imbalance; the paper reports ε < 0.01.
+	Eps float64
+	// Seed drives matching randomization (default 1).
+	Seed int64
+	// CoarsenTo stops contraction at max(CoarsenTo, 4p) vertices (default 96).
+	CoarsenTo int
+	// Passes bounds KL passes per level (default 4).
+	Passes int
+	// MaxNegMoves ends a KL pass after this many consecutive non-improving
+	// moves (default 64).
+	MaxNegMoves int
+	// Cycles is the number of multilevel V-cycles per repartition (default
+	// 3). Each cycle re-coarsens with a different matching and refines from
+	// the previous cycle's result against the same migration origin; extra
+	// cycles recover cut quality that a single contraction hierarchy misses,
+	// at no migration cost beyond what their gain justifies.
+	Cycles int
+	// UseGainTable selects the literal §9 move-selection structure (the p×p
+	// table of priority queues in gaintable.go) instead of the equivalent
+	// boundary scan. Both select the argmax-gain move; the table is the
+	// faithful data structure, the scan is faster on small coarse graphs.
+	UseGainTable bool
+	// UnrestrictedMatching lifts PNR's same-part matching constraint during
+	// contraction (ablation only): matched pairs straddling a part boundary
+	// inherit the heavier constituent's assignment, losing the exact
+	// correspondence between coarse moves and data movement.
+	UnrestrictedMatching bool
+	// Initial configures the Multilevel-KL partitioner used when no current
+	// assignment exists (the t = 0 initial partition).
+	Initial mlkl.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.8
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CoarsenTo == 0 {
+		c.CoarsenTo = 96
+	}
+	if c.Passes == 0 {
+		c.Passes = 4
+	}
+	if c.MaxNegMoves == 0 {
+		c.MaxNegMoves = 64
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 3
+	}
+	return c
+}
+
+// Cost evaluates Equation 1 for a candidate partition newParts given the
+// current assignment old.
+func Cost(g *graph.Graph, old, newParts []int32, p int, alpha, beta float64) float64 {
+	return float64(partition.EdgeCut(g, newParts)) +
+		alpha*float64(partition.MigrationCost(g.VW, old, newParts)) +
+		beta*partition.BalanceCost(g, newParts, p)
+}
+
+// Partition computes an initial p-way partition of g (no prior assignment)
+// using the standard multilevel algorithm, as PNR does at t = 0.
+func Partition(g *graph.Graph, p int, cfg Config) []int32 {
+	cfg = cfg.withDefaults()
+	init := cfg.Initial
+	if init.Seed == 0 {
+		init.Seed = cfg.Seed
+	}
+	return mlkl.Partition(g, p, init)
+}
+
+// Repartition computes a balanced partition of g starting from the current
+// assignment old, minimizing Equation 1. old is not modified.
+func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
+	cfg = cfg.withDefaults()
+	if len(old) != g.N() {
+		panic("core: old assignment length mismatch")
+	}
+	parts := append([]int32(nil), old...)
+	best := parts
+	bestCost := 0.0
+	// The multilevel hierarchy exists to make LARGE corrections cheap: when
+	// much weight must cross the machine, coarse-level moves carry whole
+	// clusters. For small corrections it is counterproductive — coarse-level
+	// cut chasing moves clusters the fine level cannot pull back, inflating
+	// migration by an order of magnitude for no cut gain — so refinement
+	// runs flat (no contraction) unless the weight that must leave
+	// overloaded parts (the excess) is a substantial fraction of the total.
+	flat := func() bool {
+		w := partition.PartWeights(g, old, p)
+		total := g.TotalVW()
+		avg := total / int64(p)
+		var excess int64
+		for _, x := range w {
+			if x > avg {
+				excess += x - avg
+			}
+		}
+		return excess*100 <= total*15
+	}()
+	cycles := cfg.Cycles
+	if flat {
+		cycles = 1 // without contraction the cycles would be identical
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		cyc := cfg
+		cyc.Seed = cfg.Seed + int64(cycle)*65537
+		if flat {
+			cyc.CoarsenTo = g.N() + 1
+		}
+		parts = repartitionML(g, parts, old, p, cyc, 0)
+		// Safety net: if the soft balance term left residual imbalance,
+		// apply forced boundary moves until within ε.
+		forceBalance(g, parts, old, p, cyc)
+		// Cut polish under a hard balance constraint (see polishKL).
+		polishKL(g, parts, old, p, cyc)
+		cost := Cost(g, old, parts, p, cfg.Alpha, cfg.Beta)
+		if cycle == 0 || cost < bestCost {
+			best = append([]int32(nil), parts...)
+			bestCost = cost
+		}
+	}
+	if !flat {
+		// Large restructure: most of the mesh moves regardless, so a fresh
+		// multilevel partition relabeled to minimize migration (scratch-
+		// remap) can beat incremental refinement — its cut is unconstrained
+		// by the chain's history. Both candidates reach ε balance, so they
+		// are compared on cut + α·migration, and scratch is adopted only on
+		// a clear (>10%) win: near-ties keep the incremental result, whose
+		// migration routes stay near the §8 lower estimate.
+		init := cfg.Initial
+		if init.Seed == 0 {
+			init.Seed = cfg.Seed
+		}
+		scratch := mlkl.Partition(g, p, init)
+		scratch = partition.MinMigrationRelabel(g.VW, old, scratch, p)
+		forceBalance(g, scratch, old, p, cfg)
+		polishKL(g, scratch, old, p, cfg)
+		cutMig := func(parts []int32) float64 {
+			return float64(partition.EdgeCut(g, parts)) +
+				cfg.Alpha*float64(partition.MigrationCost(g.VW, old, parts))
+		}
+		if cutMig(scratch) < 0.9*cutMig(best) {
+			best = scratch
+		}
+	}
+	return best
+}
+
+// repartitionML is the multilevel recursion: contract (matching restricted to
+// vertices sharing both the current assignment and the migration origin),
+// recurse, project, refine. The coarsest graph keeps its inherited
+// assignment — PNR's modification (a) — so data placement is preserved by
+// construction and only the KL refinement moves anything. start is the
+// assignment being improved; orig is the fixed data location that migration
+// is charged against.
+func repartitionML(g *graph.Graph, start, orig []int32, p int, cfg Config, depth int) []int32 {
+	stop := cfg.CoarsenTo
+	if 4*p > stop {
+		stop = 4 * p
+	}
+	if g.N() <= stop || depth > 40 {
+		parts := append([]int32(nil), start...)
+		refineKL(g, parts, orig, p, cfg)
+		return parts
+	}
+	// Cap contracted-vertex weight so coarse-level KL moves stay reversible
+	// at finer levels: a giant coarse vertex would migrate a whole region at
+	// once and refinement could never pull it back cheaply.
+	capW := g.TotalVW() / int64(8*p)
+	if capW < 2 {
+		capW = 2
+	}
+	allow := func(u, v int32) bool {
+		return start[u] == start[v] && orig[u] == orig[v] && g.VW[u]+g.VW[v] <= capW
+	}
+	if cfg.UnrestrictedMatching {
+		allow = func(u, v int32) bool { return g.VW[u]+g.VW[v] <= capW }
+	}
+	match := graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
+	cg, f2c := graph.Contract(g, match)
+	if cg.N() >= g.N()*19/20 {
+		parts := append([]int32(nil), start...)
+		refineKL(g, parts, orig, p, cfg)
+		return parts
+	}
+	cstart := make([]int32, cg.N())
+	corig := make([]int32, cg.N())
+	if cfg.UnrestrictedMatching {
+		// Mixed pairs inherit the heavier constituent's labels.
+		heaviest := make([]int64, cg.N())
+		for i := range heaviest {
+			heaviest[i] = -1
+		}
+		for v, c := range f2c {
+			if g.VW[v] > heaviest[c] {
+				heaviest[c] = g.VW[v]
+				cstart[c] = start[v]
+				corig[c] = orig[v]
+			}
+		}
+	} else {
+		for v, c := range f2c {
+			cstart[c] = start[v] // consistent: matching never crosses parts
+			corig[c] = orig[v]
+		}
+	}
+	cparts := repartitionML(cg, cstart, corig, p, cfg, depth+1)
+	parts := make([]int32, g.N())
+	for v := range parts {
+		parts[v] = cparts[f2c[v]]
+	}
+	refineKL(g, parts, orig, p, cfg)
+	polishKL(g, parts, orig, p, cfg)
+	return parts
+}

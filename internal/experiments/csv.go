@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteCSV saves a table as CSV (for external plotting of the Figure 7/8
+// series). The filename is derived from name inside dir.
+func (t *Table) WriteCSV(dir, name string) error {
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteAllCSV saves the transient figures as CSV files in dir.
+func (r *TransientResult) WriteAllCSV(dir string) error {
+	for _, t := range []struct {
+		tab  *Table
+		name string
+	}{{r.Fig7, "fig7_shared_vertices"}, {r.Fig8, "fig8_elements_moved"}, {r.Summary, "fig78_summary"}} {
+		if err := t.tab.WriteCSV(dir, t.name); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationQuick(t *testing.T) {
+	var buf bytes.Buffer
+	Ablation(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "paper (a=0.1") || !strings.Contains(out, "unrestricted matching") {
+		t.Fatalf("missing variants:\n%s", out)
+	}
+	// Parse migration column: alpha=1.0 must migrate no more than alpha=0.
+	migOf := func(prefix string) int64 {
+		for _, ln := range strings.Split(out, "\n") {
+			if strings.HasPrefix(ln, prefix) {
+				fields := strings.Fields(ln)
+				// columns: variant(words)... cut migrate mig% imbalance cost
+				for i := len(fields) - 1; i >= 0; i-- {
+					_ = i
+				}
+				v, err := strconv.ParseInt(fields[len(fields)-4], 10, 64)
+				if err != nil {
+					t.Fatalf("bad row %q: %v", ln, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q not found", prefix)
+		return 0
+	}
+	a0 := migOf("alpha=0 ")
+	a1 := migOf("alpha=1.0 ")
+	if a1 > a0 {
+		t.Errorf("alpha=1.0 migrated more (%d) than alpha=0 (%d)", a1, a0)
+	}
+}
+
+func TestFig45For3DQuick(t *testing.T) {
+	var buf bytes.Buffer
+	Fig45For3D(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "PNR mig%") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+	// Summed PNR migration must be below summed RSB migration.
+	var rsbSum, pnrSum int64
+	for _, ln := range strings.Split(out, "\n") {
+		fields := strings.Fields(ln)
+		if len(fields) != 7 || !isInt(fields[0]) {
+			continue
+		}
+		r, _ := strconv.ParseInt(fields[3], 10, 64)
+		p, _ := strconv.ParseInt(fields[5], 10, 64)
+		rsbSum += r
+		pnrSum += p
+	}
+	if pnrSum*2 > rsbSum {
+		t.Errorf("3D: PNR migration %d not clearly below RSB %d", pnrSum, rsbSum)
+	}
+}
+
+func TestTransientCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultTransient(Quick)
+	cfg.Steps = 4
+	cfg.SVGDir = dir
+	var buf bytes.Buffer
+	Transient(&buf, cfg)
+	for _, name := range []string{"fig7_shared_vertices.csv", "fig8_elements_moved.csv", "fig78_summary.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: only %d lines", name, len(lines))
+		}
+		if !strings.Contains(lines[0], ",") {
+			t.Errorf("%s: header not CSV: %q", name, lines[0])
+		}
+	}
+}
+
+func TestGeoComparisonQuick(t *testing.T) {
+	var buf bytes.Buffer
+	GeoComparison(&buf, Quick)
+	if !strings.Contains(buf.String(), "RCB") || !strings.Contains(buf.String(), "ML-KL") {
+		t.Fatalf("missing table:\n%s", buf.String())
+	}
+}
+
+func TestDiffusionComparisonQuick(t *testing.T) {
+	var buf bytes.Buffer
+	DiffusionComparison(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "diff mig") || !strings.Contains(out, "cum-mig") {
+		t.Fatalf("missing tables:\n%s", out)
+	}
+}
+
+func TestTransient3DQuick(t *testing.T) {
+	var buf bytes.Buffer
+	Transient3D(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "PNR avg%") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+	// Parse the two method averages and require PNR below permuted RSB.
+	for _, ln := range strings.Split(out, "\n") {
+		f := strings.Fields(ln)
+		if len(f) != 8 || !isInt(f[0]) {
+			continue
+		}
+		rsbAvg, _ := strconv.ParseFloat(f[2], 64)
+		pnrAvg, _ := strconv.ParseFloat(f[4], 64)
+		if pnrAvg > rsbAvg {
+			t.Errorf("3D transient: PNR avg %.1f%% above permuted RSB %.1f%%: %s", pnrAvg, rsbAvg, ln)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pared/internal/fem"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+	"pared/internal/refine"
+)
+
+// fig1Case describes one of the two corner-problem adaptations.
+type fig1Case struct {
+	name     string
+	m0       *mesh.Mesh
+	est      refine.Estimator
+	tol      float64
+	maxPass  int
+	maxLevel int32
+}
+
+func fig1Cases(scale Scale) []fig1Case {
+	if scale == Quick {
+		return []fig1Case{
+			{"2D", meshgen.RectTri(16, 16, -1, -1, 1, 1), fem.InterpolationEstimator(fem.CornerSolution2D), 5e-3, 4, 20},
+			{"3D", meshgen.BoxTet(4, 4, 4, -1, -1, -1, 1, 1, 1), fem.InterpolationEstimator(fem.CornerSolution3D), 2e-2, 3, 16},
+		}
+	}
+	// The tolerances are calibrated so the adaptation trajectory matches the
+	// paper's: 12,482 → ~131k over 8 levels in 2D (paper: 12,498 → 135,371)
+	// and 10,368 → ~70k over 5 levels in 3D (paper: 9,540 → 70,185). Our
+	// interpolation-sample indicator has a different absolute scale than the
+	// authors' error norm, so the τ values differ while the refinement
+	// pattern and growth match.
+	return []fig1Case{
+		{"2D", meshgen.PaperMesh2D(), fem.InterpolationEstimator(fem.CornerSolution2D), 5e-6, 8, 40},
+		{"3D", meshgen.PaperMesh3D(), fem.InterpolationEstimator(fem.CornerSolution3D), 3e-6, 5, 40},
+	}
+}
+
+// Fig1 reproduces Figure 1's workload: the corner-singular Laplace problem
+// meshes, adapted with the L∞ interpolation criterion. It reports element
+// growth per refinement level (the paper: 12,498 → 135,371 in 2D over 8
+// levels; 9,540 → 70,185 in 3D over 5). If svgDir is non-empty, the adapted
+// 2D mesh is rendered there.
+func Fig1(w io.Writer, scale Scale, svgDir string) {
+	for _, c := range fig1Cases(scale) {
+		snaps := AdaptSeries(c.m0, c.est, c.tol, c.maxLevel, c.maxPass)
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 1 (%s): corner-problem adaptation, tol=%g", c.name, c.tol),
+			Header: []string{"level", "elements", "verts", "max depth"},
+		}
+		for i, s := range snaps {
+			t.AddRow(i, s.Leaf.Mesh.NumElems(), s.Leaf.Mesh.NumVerts(), s.MaxLevel)
+		}
+		t.Fprint(w)
+		if svgDir != "" && c.name == "2D" {
+			last := snaps[len(snaps)-1]
+			path := filepath.Join(svgDir, "fig1_2d_adapted.svg")
+			if f, err := os.Create(path); err == nil {
+				_ = last.Leaf.Mesh.WriteSVG(f, nil, 900)
+				f.Close()
+				fmt.Fprintf(w, "wrote %s\n", path)
+			}
+		}
+	}
+}

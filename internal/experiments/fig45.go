@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pared/internal/core"
+	"pared/internal/fem"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+	"pared/internal/partition/rsb"
+)
+
+// fig45Sizes returns the mesh-size ladder of Figures 4 and 5 (the paper:
+// 5094, 11110, 23749, 49915, 103585 elements before refinement).
+func fig45Sizes(scale Scale) (m0 *mesh.Mesh, sizes []int, procs []int) {
+	if scale == Quick {
+		return meshgen.RectTri(16, 16, -1, -1, 1, 1), []int{1200, 2500}, []int{4, 8, 16}
+	}
+	return meshgen.RectTri(34, 34, -1, -1, 1, 1),
+		[]int{5100, 11100, 23700, 49900, 103600},
+		[]int{4, 8, 16, 32, 64}
+}
+
+// Fig4 reproduces Figure 4: repartitioning a series of growing 2D meshes
+// with RSB. Each mesh M^{t−1} is balanced with RSB, refined slightly into
+// M^t, and repartitioned from scratch with RSB; the migration columns show
+// that RSB moves about half the mesh even for a tiny refinement, and the
+// Biswas–Oliker permutation Π̃ recovers only part of it.
+func Fig4(w io.Writer, scale Scale) {
+	fig45(w, scale, false)
+}
+
+// Fig5 reproduces Figure 5: the same series repartitioned with PNR, whose
+// migration is orders of magnitude smaller and for which the permutation
+// gains nothing (PNR already keeps subsets on their processors).
+func Fig5(w io.Writer, scale Scale) {
+	fig45(w, scale, true)
+}
+
+func fig45(w io.Writer, scale Scale, usePNR bool) {
+	m0, sizes, procs := fig45Sizes(scale)
+	est := fem.InterpolationEstimator(fem.CornerSolution2D)
+	steps := GrowthSeries(m0, est, sizes, growthMaxLevel)
+	name, desc := "Figure 4", "RSB"
+	if usePNR {
+		name, desc = "Figure 5", "PNR (alpha=0.1, beta=0.8)"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("%s: migration cost repartitioning growing meshes with %s", name, desc),
+		Header: []string{"procs", "elems(t-1)", "cut(t-1)", "elems(t)", "cut(t)",
+			"migrate", "migrate(perm)", "mig%"},
+	}
+	// PNR maintains its assignment across the whole series, as PARED would:
+	// each row's "balanced Π^{t−1}" is the previous row's partition
+	// rebalanced on M^{t−1}.
+	ownerByP := make(map[int][]int32)
+	for _, step := range steps {
+		for _, p := range procs {
+			if usePNR {
+				owner := ownerByP[p]
+				if owner == nil {
+					owner = core.Partition(step.Prev.G, p, core.Config{})
+				}
+				owner = core.Repartition(step.Prev.G, owner, p, core.Config{})
+				cutPrev := partition.EdgeCut(step.Prev.G, owner)
+				newOwner := core.Repartition(step.Next.G, owner, p, core.Config{})
+				ownerByP[p] = newOwner
+				cutNext := partition.EdgeCut(step.Next.G, newOwner)
+				mig := partition.MigrationCost(step.Next.G.VW, owner, newOwner)
+				perm := partition.MinMigrationRelabel(step.Next.G.VW, owner, newOwner, p)
+				migPerm := partition.MigrationCost(step.Next.G.VW, owner, perm)
+				total := step.Next.G.TotalVW()
+				t.AddRow(p, step.Prev.Leaf.Mesh.NumElems(), cutPrev,
+					step.Next.Leaf.Mesh.NumElems(), cutNext, mig, migPerm,
+					fmt.Sprintf("%.1f", 100*float64(mig)/float64(total)))
+				continue
+			}
+			cfg := rsb.Config{Seed: 31}
+			prevParts := rsb.Partition(step.Prev.Fine, p, cfg)
+			cutPrev := partition.EdgeCut(step.Prev.Fine, prevParts)
+			inherited := step.Next.InheritParts(prevParts)
+			newParts := rsb.Partition(step.Next.Fine, p, cfg)
+			cutNext := partition.EdgeCut(step.Next.Fine, newParts)
+			mig := partition.MigrationCost(step.Next.Fine.VW, inherited, newParts)
+			perm := partition.MinMigrationRelabel(step.Next.Fine.VW, inherited, newParts, p)
+			migPerm := partition.MigrationCost(step.Next.Fine.VW, inherited, perm)
+			total := step.Next.Fine.TotalVW()
+			t.AddRow(p, step.Prev.Leaf.Mesh.NumElems(), cutPrev,
+				step.Next.Leaf.Mesh.NumElems(), cutNext, mig, migPerm,
+				fmt.Sprintf("%.1f", 100*float64(mig)/float64(total)))
+		}
+	}
+	t.Fprint(w)
+}

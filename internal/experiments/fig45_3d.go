@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pared/internal/core"
+	"pared/internal/fem"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+	"pared/internal/partition/rsb"
+)
+
+// Fig45For3D covers the paper's remark under Figure 4 that "similar results
+// are obtained for 3D meshes": one growth series of adaptively refined
+// tetrahedral meshes repartitioned with both RSB and PNR, side by side.
+func Fig45For3D(w io.Writer, scale Scale) {
+	m0 := meshgen.BoxTet(6, 6, 6, -1, -1, -1, 1, 1, 1)
+	sizes := []int{2500, 5000}
+	procs := []int{4, 8, 16}
+	if scale == Full {
+		m0 = meshgen.BoxTet(8, 8, 8, -1, -1, -1, 1, 1, 1)
+		sizes = []int{6000, 12000, 24000}
+		procs = []int{4, 8, 16, 32}
+	}
+	est := fem.InterpolationEstimator(fem.CornerSolution3D)
+	steps := GrowthSeries(m0, est, sizes, growthMaxLevel)
+	t := &Table{
+		Title:  "Figures 4/5 (3D): migration repartitioning growing tetrahedral meshes, RSB vs PNR",
+		Header: []string{"procs", "elems(t-1)", "elems(t)", "RSB migrate", "RSB mig%", "PNR migrate", "PNR mig%"},
+	}
+	for _, step := range steps {
+		for _, p := range procs {
+			// RSB path (with the Biswas–Oliker permutation, its best case).
+			cfg := rsb.Config{Seed: 31}
+			prevParts := rsb.Partition(step.Prev.Fine, p, cfg)
+			inherited := step.Next.InheritParts(prevParts)
+			newParts := rsb.Partition(step.Next.Fine, p, cfg)
+			perm := partition.MinMigrationRelabel(step.Next.Fine.VW, inherited, newParts, p)
+			migRSB := partition.MigrationCost(step.Next.Fine.VW, inherited, perm)
+
+			// PNR path.
+			owner := core.Partition(step.Prev.G, p, core.Config{})
+			owner = core.Repartition(step.Prev.G, owner, p, core.Config{})
+			newOwner := core.Repartition(step.Next.G, owner, p, core.Config{})
+			migPNR := partition.MigrationCost(step.Next.G.VW, owner, newOwner)
+
+			total := float64(step.Next.Fine.TotalVW())
+			t.AddRow(p, step.Prev.Leaf.Mesh.NumElems(), step.Next.Leaf.Mesh.NumElems(),
+				migRSB, fmt.Sprintf("%.1f", 100*float64(migRSB)/total),
+				migPNR, fmt.Sprintf("%.1f", 100*float64(migPNR)/total))
+		}
+	}
+	t.Fprint(w)
+}

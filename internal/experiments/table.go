@@ -1,0 +1,67 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: partition quality (Fig. 3), migration cost of standard
+// heuristics vs PNR (Figs. 4, 5), the transient tracking study (Figs. 6–8),
+// the §8 migration lower bound, and an empirical companion to Theorem 6.1.
+// See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a plain-text table mirroring one of the paper's figures.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	var sb strings.Builder
+	for i, h := range t.Header {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(sb.String(), " "))))
+	for _, r := range t.Rows {
+		sb.Reset()
+		for i, c := range r {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick runs small instances for tests and benchmarks (seconds).
+	Quick Scale = iota
+	// Full runs paper-scale instances (minutes).
+	Full
+)

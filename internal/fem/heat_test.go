@@ -1,0 +1,168 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"pared/internal/geom"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+)
+
+func TestMassLumpedTotal(t *testing.T) {
+	// Σ M_ii equals the domain measure.
+	m := meshgen.RectTri(6, 6, 0, 0, 2, 3)
+	diag := AssembleMassLumped(m)
+	sum := 0.0
+	for _, v := range diag {
+		sum += v
+	}
+	if math.Abs(sum-6) > 1e-10 {
+		t.Errorf("Σ mass = %v, want 6", sum)
+	}
+}
+
+func TestHeatSteadyStateIsFixedPoint(t *testing.T) {
+	// A harmonic function with time-constant boundary data is a fixed point
+	// of the heat flow: stepping must not change it (beyond solver tol).
+	m := meshgen.RectTri(12, 12, -1, -1, 1, 1)
+	g := func(p geom.Vec3, _ float64) float64 { return CornerSolution2D(p) }
+	// Start FROM the FEM steady state (not the analytic function): solve
+	// Laplace once, then check invariance under time stepping.
+	steady, err := Solve(Problem{Mesh: m, G: CornerSolution2D}, 1e-12, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHeatStepper(HeatProblem{
+		Mesh: m,
+		G:    g,
+		U0:   func(p geom.Vec3) float64 { return 0 },
+	}, 0, 0.01)
+	copy(hs.U, steady.U)
+	for i := 0; i < 5; i++ {
+		if _, err := hs.Step(1e-12, 20000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for v := range hs.U {
+		if d := math.Abs(hs.U[v] - steady.U[v]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-7 {
+		t.Errorf("steady state drifted by %g", worst)
+	}
+}
+
+func TestHeatDecayRate(t *testing.T) {
+	// On (0,π)² with zero boundary, u = sin(x)sin(y) decays as e^{-2t}.
+	// Backward Euler with small dt must approximate that rate.
+	m := meshgen.RectTri(24, 24, 0, 0, math.Pi, math.Pi)
+	hs := NewHeatStepper(HeatProblem{
+		Mesh: m,
+		G:    func(geom.Vec3, float64) float64 { return 0 },
+		U0:   func(p geom.Vec3) float64 { return math.Sin(p.X) * math.Sin(p.Y) },
+	}, 0, 0.01)
+	// Track the center value over 20 steps (t = 0.2).
+	center := nearestVertex(m, geom.Vec3{X: math.Pi / 2, Y: math.Pi / 2})
+	u0 := hs.U[center]
+	for i := 0; i < 20; i++ {
+		if _, err := hs.Step(1e-11, 20000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := hs.U[center] / u0
+	want := math.Exp(-2 * 0.2)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("decay factor = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestHeatMaximumPrinciple(t *testing.T) {
+	// With zero source and boundary in [0,1], the solution stays in [0,1]
+	// (backward Euler with lumped mass is unconditionally monotone on these
+	// meshes).
+	m := meshgen.RectTri(10, 10, 0, 0, 1, 1)
+	hs := NewHeatStepper(HeatProblem{
+		Mesh: m,
+		G:    func(geom.Vec3, float64) float64 { return 0 },
+		U0: func(p geom.Vec3) float64 {
+			if p.Dist(geom.Vec3{X: 0.5, Y: 0.5}) < 0.2 {
+				return 1
+			}
+			return 0
+		},
+	}, 0, 0.005)
+	for i := 0; i < 10; i++ {
+		if _, err := hs.Step(1e-10, 10000); err != nil {
+			t.Fatal(err)
+		}
+		for v, x := range hs.U {
+			if x < -1e-8 || x > 1+1e-8 {
+				t.Fatalf("step %d: u[%d] = %v escapes [0,1]", i, v, x)
+			}
+		}
+	}
+}
+
+func TestInterpolateToRefinedMesh(t *testing.T) {
+	// Interpolating a linear field onto any other mesh is exact.
+	m := meshgen.RectTri(6, 6, 0, 0, 1, 1)
+	hs := NewHeatStepper(HeatProblem{
+		Mesh: m,
+		G:    func(p geom.Vec3, _ float64) float64 { return p.X - p.Y },
+		U0:   func(p geom.Vec3) float64 { return p.X - p.Y },
+	}, 0, 0.01)
+	fine := meshgen.RectTri(9, 9, 0, 0, 1, 1)
+	u2 := hs.InterpolateTo(fine)
+	for v := range u2 {
+		want := fine.Verts[v].X - fine.Verts[v].Y
+		if math.Abs(u2[v]-want) > 1e-9 {
+			t.Fatalf("interp at %v = %v, want %v", fine.Verts[v], u2[v], want)
+		}
+	}
+}
+
+func nearestVertex(m *mesh.Mesh, p geom.Vec3) int {
+	best, bd := 0, -1.0
+	for v := range m.Verts {
+		if d := m.Verts[v].Dist2(p); bd < 0 || d < bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func TestInterpolateTo3DAndFallback(t *testing.T) {
+	// 3D evalP1 path: linear field exact on a different tet mesh.
+	m := meshgen.BoxTet(2, 2, 2, 0, 0, 0, 1, 1, 1)
+	lin := func(p geom.Vec3) float64 { return 2*p.X - p.Y + 3*p.Z }
+	hs := NewHeatStepper(HeatProblem{
+		Mesh: m,
+		G:    func(p geom.Vec3, _ float64) float64 { return lin(p) },
+		U0:   lin,
+	}, 0, 0.01)
+	fine := meshgen.BoxTet(3, 3, 3, 0, 0, 0, 1, 1, 1)
+	u2 := hs.InterpolateTo(fine)
+	for v := range u2 {
+		if math.Abs(u2[v]-lin(fine.Verts[v])) > 1e-9 {
+			t.Fatalf("3D interp at %v = %v, want %v", fine.Verts[v], u2[v], lin(fine.Verts[v]))
+		}
+	}
+	// Fallback path: a target vertex outside the old domain takes the
+	// nearest old vertex's value.
+	out := meshgen.RectTri(2, 2, 0, 0, 1, 1)
+	hs2 := NewHeatStepper(HeatProblem{
+		Mesh: out,
+		G:    func(geom.Vec3, float64) float64 { return 0 },
+		U0:   func(p geom.Vec3) float64 { return p.X },
+	}, 0, 0.01)
+	shifted := meshgen.RectTri(2, 2, 0.5, 0.5, 1.5, 1.5) // partly outside
+	u3 := hs2.InterpolateTo(shifted)
+	for v := range u3 {
+		if math.IsNaN(u3[v]) {
+			t.Fatal("fallback produced NaN")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"pared/internal/forest"
+	"pared/internal/geom"
+	"pared/internal/meshgen"
+	"pared/internal/refine"
+)
+
+func TestElemGradientLinearField(t *testing.T) {
+	// The gradient of a linear field is recovered exactly.
+	m2 := meshgen.RectTri(5, 5, 0, 0, 1, 1)
+	u2 := make([]float64, m2.NumVerts())
+	for v := range u2 {
+		u2[v] = 3*m2.Verts[v].X - 2*m2.Verts[v].Y + 1
+	}
+	for e := range m2.Elems {
+		g := ElemGradient(m2, u2, e)
+		if math.Abs(g.X-3) > 1e-10 || math.Abs(g.Y+2) > 1e-10 {
+			t.Fatalf("2D gradient of element %d = %v, want (3,-2,0)", e, g)
+		}
+	}
+	m3 := meshgen.BoxTet(2, 2, 2, 0, 0, 0, 1, 1, 1)
+	u3 := make([]float64, m3.NumVerts())
+	for v := range u3 {
+		p := m3.Verts[v]
+		u3[v] = p.X + 4*p.Y - 5*p.Z
+	}
+	for e := range m3.Elems {
+		g := ElemGradient(m3, u3, e)
+		if g.Sub(geom.Vec3{X: 1, Y: 4, Z: -5}).Norm() > 1e-9 {
+			t.Fatalf("3D gradient of element %d = %v", e, g)
+		}
+	}
+}
+
+func TestZZIndicatorsZeroForLinear(t *testing.T) {
+	m := meshgen.RectTri(6, 6, 0, 0, 1, 1)
+	u := make([]float64, m.NumVerts())
+	for v := range u {
+		u[v] = 7*m.Verts[v].X + m.Verts[v].Y
+	}
+	for e, ind := range ZZIndicators(m, u) {
+		if ind > 1e-10 {
+			t.Fatalf("linear field: indicator[%d] = %v", e, ind)
+		}
+	}
+}
+
+func TestZZDrivenAdaptationFindsCorner(t *testing.T) {
+	// Full solver-driven loop with NO analytic indicator: solve, estimate
+	// with ZZ, refine, repeat — refinement must concentrate at the corner
+	// singularity of the boundary data.
+	m0 := meshgen.RectTri(12, 12, -1, -1, 1, 1)
+	f := forest.FromMesh(m0)
+	r := refine.NewRefiner(f)
+	for cycle := 0; cycle < 4; cycle++ {
+		leaf := f.LeafMesh()
+		sol, err := Solve(Problem{Mesh: leaf.Mesh, G: CornerSolution2D}, 1e-9, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := ZZEstimator(leaf, sol.U)
+		// Refine the worst ~15% of elements: take tol at the 85th percentile.
+		inds := ZZIndicators(leaf.Mesh, sol.U)
+		tol := percentile(inds, 0.85)
+		refine.AdaptOnce(r, est, tol, 0, 16)
+	}
+	leaf := f.LeafMesh()
+	near, far := 0, 0
+	for e := range leaf.Mesh.Elems {
+		c := leaf.Mesh.Centroid(e)
+		if c.Dist(geom.Vec3{X: 1, Y: 1}) < 0.5 {
+			near++
+		}
+		if c.Dist(geom.Vec3{X: -1, Y: -1}) < 0.5 {
+			far++
+		}
+	}
+	if near <= far {
+		t.Errorf("ZZ-driven refinement not concentrated at the corner: near=%d far=%d", near, far)
+	}
+	if leaf.Mesh.NumElems() <= m0.NumElems() {
+		t.Error("no refinement happened")
+	}
+}
+
+func percentile(xs []float64, q float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// insertion sort is fine for test sizes
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}

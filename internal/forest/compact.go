@@ -1,0 +1,69 @@
+package forest
+
+// CompactVertices rebuilds the vertex table keeping only vertices referenced
+// by live nodes, reclaiming the orphans that coarsening and tree migration
+// leave behind. Local vertex indices change, so any refine.Refiner or cached
+// LeafMeshResult over this forest must be rebuilt afterwards. It returns the
+// number of vertices reclaimed.
+func (f *Forest) CompactVertices() int {
+	used := make([]bool, len(f.Coords))
+	for i := range f.Nodes {
+		n := &f.Nodes[i]
+		if n.Dead {
+			continue
+		}
+		for _, v := range n.Verts {
+			if v >= 0 {
+				used[v] = true
+			}
+		}
+		if n.MidV >= 0 {
+			used[n.MidV] = true
+		}
+		if !n.IsLeaf() {
+			used[n.RefEdge[0]] = true
+			used[n.RefEdge[1]] = true
+		}
+	}
+	remap := make([]int32, len(f.Coords))
+	kept := int32(0)
+	for i, u := range used {
+		if u {
+			remap[i] = kept
+			f.Coords[kept] = f.Coords[i]
+			f.VIDs[kept] = f.VIDs[i]
+			kept++
+		} else {
+			remap[i] = -1
+		}
+	}
+	reclaimed := len(f.Coords) - int(kept)
+	if reclaimed == 0 {
+		return 0
+	}
+	f.Coords = f.Coords[:kept]
+	f.VIDs = f.VIDs[:kept]
+	f.vidx = make(map[VertexID]int32, kept)
+	for i, id := range f.VIDs {
+		f.vidx[id] = int32(i)
+	}
+	for i := range f.Nodes {
+		n := &f.Nodes[i]
+		if n.Dead {
+			continue
+		}
+		for k, v := range n.Verts {
+			if v >= 0 {
+				n.Verts[k] = remap[v]
+			}
+		}
+		if n.MidV >= 0 {
+			n.MidV = remap[n.MidV]
+		}
+		if !n.IsLeaf() {
+			n.RefEdge[0] = remap[n.RefEdge[0]]
+			n.RefEdge[1] = remap[n.RefEdge[1]]
+		}
+	}
+	return reclaimed
+}

@@ -1,0 +1,446 @@
+// Package forest implements PARED's hierarchical data structure of nested
+// meshes: a forest of refinement history trees, one tree per element of the
+// initial coarse mesh M⁰.
+//
+// When an element is refined it is not destroyed; it becomes an interior node
+// whose two children are the bisection halves. The leaves of all trees form
+// the current most-refined mesh Mᵗ. Coarsening removes the two children of a
+// node, making it a leaf again, so M⁰ is the coarsest reachable mesh.
+//
+// The forest supports sparse root ownership: a rank in the distributed engine
+// holds only the trees of the coarse elements it owns, while root IDs remain
+// global. Vertices carry deterministic 64-bit global IDs (see VertexID) so
+// independently refined replicas agree on vertex identity without
+// communication.
+package forest
+
+import (
+	"fmt"
+	"sort"
+
+	"pared/internal/geom"
+	"pared/internal/mesh"
+)
+
+// VertexID is a globally unique, deterministic vertex identifier. Vertices of
+// the initial mesh use their index; the midpoint of an edge gets an ID that
+// is a pure function of its endpoints' IDs, so every processor that splits
+// the same edge derives the same ID with no coordination.
+type VertexID uint64
+
+// MidID returns the deterministic ID of the midpoint of the edge {a, b}.
+// It is symmetric in its arguments. The mixing function is SplitMix64-style;
+// the collision probability for a mesh with 10⁶ vertices is below 3·10⁻⁸
+// (birthday bound), and collisions are detected at interning time.
+func MidID(a, b VertexID) VertexID {
+	if a > b {
+		a, b = b, a
+	}
+	x := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	// Avoid colliding with initial-mesh IDs, which are small integers.
+	return VertexID(x | 1<<63)
+}
+
+// NodeID indexes a node within a Forest. The special value NoNode (-1) means
+// "no node".
+type NodeID int32
+
+// NoNode is the nil NodeID.
+const NoNode NodeID = -1
+
+// Node is one element in a refinement history tree.
+type Node struct {
+	// Verts are local vertex indices into the forest's vertex table.
+	// Triangles set Verts[3] = -1.
+	Verts [4]int32
+	// Parent is the node this one was bisected from, or NoNode for a root.
+	Parent NodeID
+	// Kids are the two bisection halves, or {NoNode, NoNode} for a leaf.
+	Kids [2]NodeID
+	// Root is the global coarse-element index of the tree containing this node.
+	Root int32
+	// Level is the refinement depth (roots are level 0).
+	Level int32
+	// RefEdge holds the local vertex indices of the edge this node was
+	// bisected at (meaningful only for interior nodes).
+	RefEdge [2]int32
+	// MidV is the local index of the midpoint vertex created when this node
+	// was bisected, or -1 for leaves.
+	MidV int32
+	// Dead marks a node slot freed by coarsening.
+	Dead bool
+}
+
+// IsLeaf reports whether the node is currently unrefined.
+func (n *Node) IsLeaf() bool { return n.Kids[0] == NoNode }
+
+// Nv returns the number of vertices of the node's simplex.
+func (n *Node) Nv() int {
+	if n.Verts[3] < 0 {
+		return 3
+	}
+	return 4
+}
+
+// Forest is a forest of refinement history trees over a shared vertex table.
+type Forest struct {
+	// Dim is the mesh dimension.
+	Dim mesh.Dim
+	// Coords holds vertex coordinates, indexed by local vertex index.
+	Coords []geom.Vec3
+	// VIDs holds the global VertexID of each local vertex.
+	VIDs []VertexID
+	// Nodes holds all tree nodes; slots of coarsened nodes are reused.
+	Nodes []Node
+
+	vidx      map[VertexID]int32 // global ID -> local index
+	roots     map[int32]NodeID   // global coarse element -> root node
+	free      []NodeID           // reusable dead slots
+	leafCount map[int32]int      // per root
+	nLeaves   int
+}
+
+// New creates an empty forest of the given dimension.
+func New(dim mesh.Dim) *Forest {
+	return &Forest{
+		Dim:       dim,
+		vidx:      make(map[VertexID]int32),
+		roots:     make(map[int32]NodeID),
+		leafCount: make(map[int32]int),
+	}
+}
+
+// FromMesh builds a forest whose roots are the elements of the initial coarse
+// mesh m. Vertex i of m receives VertexID(i).
+func FromMesh(m *mesh.Mesh) *Forest {
+	f := New(m.Dim)
+	for i, c := range m.Verts {
+		f.InternVertex(VertexID(i), c)
+	}
+	for e, el := range m.Elems {
+		f.AddRoot(int32(e), el.V)
+	}
+	return f
+}
+
+// InternVertex returns the local index for the global vertex id, adding it
+// with the given coordinates if absent. It panics on an ID collision
+// (same ID, different coordinates), which the deterministic midpoint naming
+// makes astronomically unlikely.
+func (f *Forest) InternVertex(id VertexID, c geom.Vec3) int32 {
+	if li, ok := f.vidx[id]; ok {
+		if f.Coords[li] != c {
+			panic(fmt.Sprintf("forest: VertexID collision: id %x at %v and %v", uint64(id), f.Coords[li], c))
+		}
+		return li
+	}
+	li := int32(len(f.Coords))
+	f.Coords = append(f.Coords, c)
+	f.VIDs = append(f.VIDs, id)
+	f.vidx[id] = li
+	return li
+}
+
+// LookupVertex returns the local index of a global vertex ID, or -1.
+func (f *Forest) LookupVertex(id VertexID) int32 {
+	if li, ok := f.vidx[id]; ok {
+		return li
+	}
+	return -1
+}
+
+// AddRoot installs a coarse element (given by local vertex indices) as the
+// root of tree `root`. It panics if the tree already exists.
+func (f *Forest) AddRoot(root int32, verts [4]int32) NodeID {
+	if _, ok := f.roots[root]; ok {
+		panic(fmt.Sprintf("forest: duplicate root %d", root))
+	}
+	n := f.alloc(Node{
+		Verts:  verts,
+		Parent: NoNode,
+		Kids:   [2]NodeID{NoNode, NoNode},
+		Root:   root,
+		MidV:   -1,
+	})
+	f.roots[root] = n
+	f.leafCount[root] = 1
+	f.nLeaves++
+	return n
+}
+
+func (f *Forest) alloc(n Node) NodeID {
+	if len(f.free) > 0 {
+		id := f.free[len(f.free)-1]
+		f.free = f.free[:len(f.free)-1]
+		f.Nodes[id] = n
+		return id
+	}
+	f.Nodes = append(f.Nodes, n)
+	return NodeID(len(f.Nodes) - 1)
+}
+
+// Node returns a pointer to the node with the given ID.
+func (f *Forest) Node(id NodeID) *Node { return &f.Nodes[id] }
+
+// Root returns the root node of tree `root`, or NoNode if this forest does
+// not hold that tree.
+func (f *Forest) Root(root int32) NodeID {
+	if n, ok := f.roots[root]; ok {
+		return n
+	}
+	return NoNode
+}
+
+// Roots returns the sorted global IDs of the trees held by this forest.
+func (f *Forest) Roots() []int32 {
+	out := make([]int32, 0, len(f.roots))
+	for r := range f.roots {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumRoots returns the number of trees held.
+func (f *Forest) NumRoots() int { return len(f.roots) }
+
+// NumLeaves returns the total number of leaf elements across all held trees.
+func (f *Forest) NumLeaves() int { return f.nLeaves }
+
+// LeafCount returns the number of leaves of tree `root` (0 if not held).
+// This is the vertex weight of the coarse dual graph G in the paper.
+func (f *Forest) LeafCount(root int32) int { return f.leafCount[root] }
+
+// Bisect splits leaf n at the edge given by local vertex indices (a, b) with
+// the already-interned midpoint vertex mid. It returns the two children.
+// Child 0 replaces b with mid; child 1 replaces a with mid, so both keep the
+// parent's orientation with half its measure.
+func (f *Forest) Bisect(id NodeID, a, b, mid int32) (k0, k1 NodeID) {
+	n := f.Node(id)
+	if !n.IsLeaf() || n.Dead {
+		panic("forest: Bisect on non-leaf or dead node")
+	}
+	mk := func(replace, with int32) Node {
+		c := Node{
+			Parent: id,
+			Kids:   [2]NodeID{NoNode, NoNode},
+			Root:   n.Root,
+			Level:  n.Level + 1,
+			MidV:   -1,
+		}
+		c.Verts = n.Verts
+		for i := range c.Verts {
+			if c.Verts[i] == replace {
+				c.Verts[i] = with
+			}
+		}
+		return c
+	}
+	c0 := mk(b, mid)
+	c1 := mk(a, mid)
+	k0 = f.alloc(c0)
+	k1 = f.alloc(c1)
+	n = f.Node(id) // realloc-safe re-fetch
+	n.Kids = [2]NodeID{k0, k1}
+	n.RefEdge = [2]int32{a, b}
+	n.MidV = mid
+	f.leafCount[n.Root]++ // one leaf became two
+	f.nLeaves++
+	return k0, k1
+}
+
+// Unbisect undoes the bisection of node id: its two children (which must be
+// leaves) are removed and id becomes a leaf again. The caller is responsible
+// for conformity (see refine.Coarsen).
+func (f *Forest) Unbisect(id NodeID) {
+	n := f.Node(id)
+	if n.IsLeaf() {
+		panic("forest: Unbisect on leaf")
+	}
+	for _, k := range n.Kids {
+		kn := f.Node(k)
+		if !kn.IsLeaf() {
+			panic("forest: Unbisect with non-leaf child")
+		}
+		kn.Dead = true
+		f.free = append(f.free, k)
+	}
+	n.Kids = [2]NodeID{NoNode, NoNode}
+	n.MidV = -1
+	f.leafCount[n.Root]--
+	f.nLeaves--
+}
+
+// VisitLeaves calls fn for every leaf node, tree by tree in sorted root
+// order, depth-first with child 0 before child 1. The order is deterministic
+// and identical for any forest holding the same trees in the same state.
+func (f *Forest) VisitLeaves(fn func(id NodeID)) {
+	for _, r := range f.Roots() {
+		f.visitLeavesFrom(f.roots[r], fn)
+	}
+}
+
+func (f *Forest) visitLeavesFrom(id NodeID, fn func(id NodeID)) {
+	n := f.Node(id)
+	if n.IsLeaf() {
+		fn(id)
+		return
+	}
+	f.visitLeavesFrom(n.Kids[0], fn)
+	f.visitLeavesFrom(n.Kids[1], fn)
+}
+
+// Leaves returns all leaf NodeIDs in deterministic order.
+func (f *Forest) Leaves() []NodeID {
+	out := make([]NodeID, 0, f.nLeaves)
+	f.VisitLeaves(func(id NodeID) { out = append(out, id) })
+	return out
+}
+
+// MaxLevel returns the deepest refinement level among leaves.
+func (f *Forest) MaxLevel() int32 {
+	var max int32
+	f.VisitLeaves(func(id NodeID) {
+		if l := f.Node(id).Level; l > max {
+			max = l
+		}
+	})
+	return max
+}
+
+// LeafMeshResult bundles the extracted leaf mesh with back-references into
+// the forest.
+type LeafMeshResult struct {
+	// Mesh is the current most-refined mesh Mᵗ with compacted vertex indices.
+	Mesh *mesh.Mesh
+	// Leaf2Node maps each mesh element to its forest node.
+	Leaf2Node []NodeID
+	// LeafRoot maps each mesh element to its coarse ancestor (global root ID).
+	LeafRoot []int32
+	// Vert2Local maps each mesh vertex back to the forest's local index.
+	Vert2Local []int32
+}
+
+// LeafMesh extracts the current leaf mesh with vertices compacted to those in
+// use. Element order follows VisitLeaves and is deterministic.
+func (f *Forest) LeafMesh() *LeafMeshResult {
+	res := &LeafMeshResult{Mesh: &mesh.Mesh{Dim: f.Dim}}
+	remap := make(map[int32]int32)
+	mapv := func(v int32) int32 {
+		if nv, ok := remap[v]; ok {
+			return nv
+		}
+		nv := int32(len(res.Mesh.Verts))
+		remap[v] = nv
+		res.Mesh.Verts = append(res.Mesh.Verts, f.Coords[v])
+		res.Vert2Local = append(res.Vert2Local, v)
+		return nv
+	}
+	f.VisitLeaves(func(id NodeID) {
+		n := f.Node(id)
+		var el mesh.Element
+		el.V[3] = -1
+		for i := 0; i < n.Nv(); i++ {
+			el.V[i] = mapv(n.Verts[i])
+		}
+		res.Mesh.Elems = append(res.Mesh.Elems, el)
+		res.Leaf2Node = append(res.Leaf2Node, id)
+		res.LeafRoot = append(res.LeafRoot, n.Root)
+	})
+	return res
+}
+
+// CanonicalLeaves returns, for every leaf, its sorted global vertex IDs. Two
+// forests hold the same refined mesh exactly when their canonical leaf sets
+// are equal; the distributed-vs-serial refinement tests rely on this.
+func (f *Forest) CanonicalLeaves() [][4]VertexID {
+	out := make([][4]VertexID, 0, f.nLeaves)
+	f.VisitLeaves(func(id NodeID) {
+		n := f.Node(id)
+		var key [4]VertexID
+		nv := n.Nv()
+		for i := 0; i < nv; i++ {
+			key[i] = f.VIDs[n.Verts[i]]
+		}
+		if nv == 3 {
+			key[3] = ^VertexID(0)
+		}
+		sort4(&key)
+		out = append(out, key)
+	})
+	sort.Slice(out, func(i, j int) bool { return less4(out[i], out[j]) })
+	return out
+}
+
+func sort4(k *[4]VertexID) {
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && k[j] < k[j-1]; j-- {
+			k[j], k[j-1] = k[j-1], k[j]
+		}
+	}
+}
+
+func less4(a, b [4]VertexID) bool {
+	for i := 0; i < 4; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// EdgeLen2 returns the squared length of the edge between local vertices a, b.
+func (f *Forest) EdgeLen2(a, b int32) float64 {
+	return f.Coords[a].Dist2(f.Coords[b])
+}
+
+// LongestEdge returns the local vertex indices (a, b) of node id's longest
+// edge. Ties break toward the smaller global VertexID pair, which makes the
+// choice identical across replicas regardless of local index assignment.
+func (f *Forest) LongestEdge(id NodeID) (a, b int32) {
+	n := f.Node(id)
+	nv := n.Nv()
+	bestLen := -1.0
+	var bestA, bestB int32
+	var bestKA, bestKB VertexID
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			va, vb := n.Verts[i], n.Verts[j]
+			l := f.EdgeLen2(va, vb)
+			ka, kb := f.VIDs[va], f.VIDs[vb]
+			if ka > kb {
+				ka, kb = kb, ka
+				va, vb = vb, va
+			}
+			if l > bestLen || (l == bestLen && (ka < bestKA || (ka == bestKA && kb < bestKB))) {
+				bestLen, bestA, bestB, bestKA, bestKB = l, va, vb, ka, kb
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// TreeSize returns the number of nodes (alive) in tree root.
+func (f *Forest) TreeSize(root int32) int {
+	id := f.Root(root)
+	if id == NoNode {
+		return 0
+	}
+	count := 0
+	var walk func(NodeID)
+	walk = func(n NodeID) {
+		count++
+		node := f.Node(n)
+		if !node.IsLeaf() {
+			walk(node.Kids[0])
+			walk(node.Kids[1])
+		}
+	}
+	walk(id)
+	return count
+}

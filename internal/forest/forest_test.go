@@ -1,0 +1,232 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"pared/internal/geom"
+	"pared/internal/meshgen"
+)
+
+func TestMidIDProperties(t *testing.T) {
+	a, b := VertexID(3), VertexID(17)
+	if MidID(a, b) != MidID(b, a) {
+		t.Error("MidID not symmetric")
+	}
+	if MidID(a, b)>>63 == 0 {
+		t.Error("MidID must set the high bit to avoid initial-ID collisions")
+	}
+	// Distinctness over a quadratic family of edges.
+	seen := make(map[VertexID][2]VertexID)
+	for i := VertexID(0); i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			id := MidID(i, j)
+			if prev, ok := seen[id]; ok {
+				t.Fatalf("collision: MidID(%d,%d) == MidID(%d,%d)", i, j, prev[0], prev[1])
+			}
+			seen[id] = [2]VertexID{i, j}
+		}
+	}
+}
+
+func TestFromMesh(t *testing.T) {
+	m := meshgen.RectTri(2, 2, 0, 0, 1, 1)
+	f := FromMesh(m)
+	if f.NumRoots() != 8 {
+		t.Errorf("roots = %d, want 8", f.NumRoots())
+	}
+	if f.NumLeaves() != 8 {
+		t.Errorf("leaves = %d, want 8", f.NumLeaves())
+	}
+	for _, r := range f.Roots() {
+		if f.LeafCount(r) != 1 {
+			t.Errorf("LeafCount(%d) = %d, want 1", r, f.LeafCount(r))
+		}
+	}
+}
+
+func TestBisectAndUnbisect(t *testing.T) {
+	m := meshgen.RectTri(1, 1, 0, 0, 1, 1)
+	f := FromMesh(m)
+	root := f.Root(0)
+	a, b := f.LongestEdge(root)
+	mid := f.InternVertex(MidID(f.VIDs[a], f.VIDs[b]), f.Coords[a].Mid(f.Coords[b]))
+	k0, k1 := f.Bisect(root, a, b, mid)
+	if f.NumLeaves() != 3 { // tree 0 has 2 leaves, tree 1 has 1
+		t.Errorf("leaves = %d, want 3", f.NumLeaves())
+	}
+	if f.LeafCount(0) != 2 {
+		t.Errorf("LeafCount(0) = %d, want 2", f.LeafCount(0))
+	}
+	if f.Node(k0).Level != 1 || f.Node(k1).Level != 1 {
+		t.Error("child level should be 1")
+	}
+	if f.Node(root).IsLeaf() {
+		t.Error("bisected node should not be a leaf")
+	}
+	// Children should not contain the split edge's far endpoint.
+	if containsVert(f, k0, b) {
+		t.Error("child 0 still contains replaced vertex b")
+	}
+	if containsVert(f, k1, a) {
+		t.Error("child 1 still contains replaced vertex a")
+	}
+	f.Unbisect(root)
+	if f.NumLeaves() != 2 || !f.Node(root).IsLeaf() {
+		t.Error("Unbisect did not restore the leaf")
+	}
+	if f.LeafCount(0) != 1 {
+		t.Errorf("LeafCount(0) after Unbisect = %d, want 1", f.LeafCount(0))
+	}
+}
+
+func containsVert(f *Forest, id NodeID, v int32) bool {
+	n := f.Node(id)
+	for i := 0; i < n.Nv(); i++ {
+		if n.Verts[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLeafMeshRoundTrip(t *testing.T) {
+	m := meshgen.RectTri(3, 3, -1, -1, 1, 1)
+	f := FromMesh(m)
+	res := f.LeafMesh()
+	if res.Mesh.NumElems() != m.NumElems() {
+		t.Fatalf("leaf mesh elems = %d, want %d", res.Mesh.NumElems(), m.NumElems())
+	}
+	if err := res.Mesh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mesh.TotalVolume()-m.TotalVolume()) > 1e-12 {
+		t.Error("leaf mesh volume differs from source")
+	}
+	for i, r := range res.LeafRoot {
+		if r != int32(i) {
+			t.Fatalf("LeafRoot[%d] = %d, want %d (unrefined forest)", i, r, i)
+		}
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	m := meshgen.RectTri(2, 1, 0, 0, 2, 1)
+	f := FromMesh(m)
+	// Refine tree 0 twice by hand.
+	for i := 0; i < 2; i++ {
+		root := f.Root(0)
+		// find a leaf of tree 0
+		var leaf NodeID = NoNode
+		f.VisitLeaves(func(id NodeID) {
+			if leaf == NoNode && f.Node(id).Root == 0 {
+				leaf = id
+			}
+		})
+		a, b := f.LongestEdge(leaf)
+		mid := f.InternVertex(MidID(f.VIDs[a], f.VIDs[b]), f.Coords[a].Mid(f.Coords[b]))
+		f.Bisect(leaf, a, b, mid)
+		_ = root
+	}
+	before := f.CanonicalLeaves()
+	nodes0 := f.TreeSize(0)
+	leaves0 := f.LeafCount(0)
+
+	p := f.ExtractTree(0)
+	if p.NumLeaves() != leaves0 {
+		t.Errorf("payload leaves = %d, want %d", p.NumLeaves(), leaves0)
+	}
+	if len(p.Nodes) != nodes0 {
+		t.Errorf("payload nodes = %d, want %d", len(p.Nodes), nodes0)
+	}
+	f.RemoveTree(0)
+	if f.Root(0) != NoNode {
+		t.Fatal("tree 0 still present after RemoveTree")
+	}
+
+	g := New(f.Dim)
+	// Receiving forest holds the other trees of the mesh plus the moved tree.
+	for _, r := range f.Roots() {
+		q := f.ExtractTree(r)
+		g.InsertTree(q)
+	}
+	g.InsertTree(p)
+	after := g.CanonicalLeaves()
+	if len(before) != len(after) {
+		t.Fatalf("canonical leaf count %d != %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("canonical leaves differ at %d: %v vs %v", i, before[i], after[i])
+		}
+	}
+	if g.LeafCount(0) != leaves0 {
+		t.Errorf("moved tree LeafCount = %d, want %d", g.LeafCount(0), leaves0)
+	}
+}
+
+func TestLongestEdgeDeterministicUnderRelabeling(t *testing.T) {
+	// The same triangle inserted into two forests with different local vertex
+	// orders must pick the same edge, identified by global IDs.
+	m := meshgen.RectTri(1, 1, 0, 0, 1, 1)
+	f1 := FromMesh(m)
+	f2 := New(m.Dim)
+	// Intern in reverse order so local indices differ.
+	for i := len(m.Verts) - 1; i >= 0; i-- {
+		f2.InternVertex(VertexID(i), m.Verts[i])
+	}
+	for e, el := range m.Elems {
+		var vv [4]int32
+		vv[3] = -1
+		for i := 0; i < 3; i++ {
+			vv[i] = f2.LookupVertex(VertexID(el.V[i]))
+		}
+		f2.AddRoot(int32(e), vv)
+	}
+	for e := 0; e < 2; e++ {
+		a1, b1 := f1.LongestEdge(f1.Root(int32(e)))
+		a2, b2 := f2.LongestEdge(f2.Root(int32(e)))
+		k1 := MakeKey(f1.VIDs[a1], f1.VIDs[b1])
+		k2 := MakeKey(f2.VIDs[a2], f2.VIDs[b2])
+		if k1 != k2 {
+			t.Errorf("element %d: longest edge %v vs %v", e, k1, k2)
+		}
+	}
+}
+
+// MakeKey mirrors refine.MakeEdgeSplit without importing it (avoids a cycle
+// in tests).
+func MakeKey(a, b VertexID) [2]VertexID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]VertexID{a, b}
+}
+
+func TestVertexIDCollisionPanics(t *testing.T) {
+	f := New(2)
+	f.InternVertex(5, geom.Vec3{X: 1, Y: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on VertexID collision")
+		}
+	}()
+	f.InternVertex(5, geom.Vec3{X: 3, Y: 4})
+}
+
+func TestMaxLevel(t *testing.T) {
+	f := FromMesh(meshgen.RectTri(1, 1, 0, 0, 1, 1))
+	if f.MaxLevel() != 0 {
+		t.Errorf("fresh forest MaxLevel = %d", f.MaxLevel())
+	}
+	id := f.Root(0)
+	a, b := f.LongestEdge(id)
+	mid := f.InternVertex(MidID(f.VIDs[a], f.VIDs[b]), f.Coords[a].Mid(f.Coords[b]))
+	k0, _ := f.Bisect(id, a, b, mid)
+	a, b = f.LongestEdge(k0)
+	mid = f.InternVertex(MidID(f.VIDs[a], f.VIDs[b]), f.Coords[a].Mid(f.Coords[b]))
+	f.Bisect(k0, a, b, mid)
+	if f.MaxLevel() != 2 {
+		t.Errorf("MaxLevel = %d, want 2", f.MaxLevel())
+	}
+}

@@ -1,0 +1,96 @@
+package forest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pared/internal/geom"
+)
+
+// Write serializes the forest — vertices with global IDs, and every tree in
+// payload form — in a line-oriented text format, so adapted meshes with
+// their full refinement history can be stored and reloaded (for checkpoint/
+// restart, or to partition a previously adapted mesh offline).
+//
+// Format:
+//
+//	pared-forest <dim> <numTrees>
+//	tree <root> <level0> <numVerts> <numNodes>
+//	<id> <x> <y> <z>          (numVerts lines, payload-local order)
+//	<v0> <v1> <v2> <v3> <k0> <k1> <ea> <eb> <mid>   (numNodes lines)
+func (f *Forest) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	roots := f.Roots()
+	fmt.Fprintf(bw, "pared-forest %d %d\n", f.Dim, len(roots))
+	for _, r := range roots {
+		p := f.ExtractTree(r)
+		fmt.Fprintf(bw, "tree %d %d %d %d\n", p.Root, p.Level0, len(p.VIDs), len(p.Nodes))
+		for i := range p.VIDs {
+			c := p.Coords[i]
+			fmt.Fprintf(bw, "%d %.17g %.17g %.17g\n", uint64(p.VIDs[i]), c.X, c.Y, c.Z)
+		}
+		for _, n := range p.Nodes {
+			fmt.Fprintf(bw, "%d %d %d %d %d %d %d %d %d\n",
+				n.Verts[0], n.Verts[1], n.Verts[2], n.Verts[3],
+				n.Kids[0], n.Kids[1], n.RefEdge[0], n.RefEdge[1], n.MidV)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format written by Write into a fresh forest.
+func Read(r io.Reader) (*Forest, error) {
+	br := bufio.NewReader(r)
+	var dim, ntrees int
+	if _, err := fmt.Fscanf(br, "pared-forest %d %d\n", &dim, &ntrees); err != nil {
+		return nil, fmt.Errorf("forest: bad header: %w", err)
+	}
+	if dim != 2 && dim != 3 {
+		return nil, fmt.Errorf("forest: bad dimension %d", dim)
+	}
+	f := New(2)
+	f.Dim = 2
+	if dim == 3 {
+		f.Dim = 3
+	}
+	for t := 0; t < ntrees; t++ {
+		var p TreePayload
+		var nv, nn int
+		var kw string
+		if _, err := fmt.Fscan(br, &kw, &p.Root, &p.Level0, &nv, &nn); err != nil || kw != "tree" {
+			return nil, fmt.Errorf("forest: tree %d header (kw=%q): %w", t, kw, err)
+		}
+		p.VIDs = make([]VertexID, nv)
+		p.Coords = make([]geom.Vec3, nv)
+		for i := 0; i < nv; i++ {
+			var id uint64
+			c := &p.Coords[i]
+			if _, err := fmt.Fscan(br, &id, &c.X, &c.Y, &c.Z); err != nil {
+				return nil, fmt.Errorf("forest: tree %d vertex %d: %w", t, i, err)
+			}
+			p.VIDs[i] = VertexID(id)
+		}
+		p.Nodes = make([]PayloadNode, nn)
+		for i := 0; i < nn; i++ {
+			n := &p.Nodes[i]
+			if _, err := fmt.Fscan(br,
+				&n.Verts[0], &n.Verts[1], &n.Verts[2], &n.Verts[3],
+				&n.Kids[0], &n.Kids[1], &n.RefEdge[0], &n.RefEdge[1], &n.MidV); err != nil {
+				return nil, fmt.Errorf("forest: tree %d node %d: %w", t, i, err)
+			}
+			for _, k := range n.Kids {
+				if k >= int32(nn) {
+					return nil, fmt.Errorf("forest: tree %d node %d: kid %d out of range", t, i, k)
+				}
+			}
+			for _, v := range n.Verts {
+				if v >= int32(nv) {
+					return nil, fmt.Errorf("forest: tree %d node %d: vertex %d out of range", t, i, v)
+				}
+			}
+		}
+		f.InsertTree(&p)
+	}
+	return f, nil
+}

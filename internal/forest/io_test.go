@@ -1,0 +1,55 @@
+package forest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pared/internal/meshgen"
+)
+
+func TestForestIORoundTrip(t *testing.T) {
+	f := FromMesh(meshgen.RectTri(3, 3, -1, -1, 1, 1))
+	// Refine a few leaves so trees have structure.
+	for i := 0; i < 3; i++ {
+		leaves := f.Leaves()
+		id := leaves[i*2%len(leaves)]
+		a, b := f.LongestEdge(id)
+		mid := f.InternVertex(MidID(f.VIDs[a], f.VIDs[b]), f.Coords[a].Mid(f.Coords[b]))
+		f.Bisect(id, a, b, mid)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dim != f.Dim || g.NumRoots() != f.NumRoots() || g.NumLeaves() != f.NumLeaves() {
+		t.Fatalf("shape mismatch: dim %d/%d roots %d/%d leaves %d/%d",
+			g.Dim, f.Dim, g.NumRoots(), f.NumRoots(), g.NumLeaves(), f.NumLeaves())
+	}
+	a, b := f.CanonicalLeaves(), g.CanonicalLeaves()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("canonical leaf %d differs", i)
+		}
+	}
+	// The reloaded forest must remain refinable: its leaf mesh is valid.
+	if err := g.LeafMesh().Mesh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("pared-forest 7 1\n")); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if _, err := Read(strings.NewReader("pared-forest 2 1\ntree 0 0 1 1\n5 0 0 0\n0 1 2 -1 -1 -1 0 0 -1\n")); err == nil {
+		t.Error("out-of-range vertex index accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package forest
+
+import (
+	"fmt"
+
+	"pared/internal/geom"
+)
+
+// PayloadNode is one node of a serialized refinement tree. Vertex and kid
+// references are payload-local indices.
+type PayloadNode struct {
+	Verts   [4]int32
+	Kids    [2]int32 // payload-local node indices, -1 for leaves
+	RefEdge [2]int32 // payload-local vertex indices (interior nodes only)
+	MidV    int32    // payload-local vertex index, -1 for leaves
+}
+
+// TreePayload is a self-contained serialization of one refinement history
+// tree. It is what moves between processors when PNR reassigns a coarse
+// element: "when an element is migrated to another processor all its
+// descendants are migrated as well" (paper §2).
+type TreePayload struct {
+	Root   int32
+	Level0 int32 // level of the root node (0 unless trees are re-rooted)
+	VIDs   []VertexID
+	Coords []geom.Vec3
+	Nodes  []PayloadNode // preorder; node 0 is the tree root
+}
+
+// NumLeaves counts the leaves in the payload.
+func (p *TreePayload) NumLeaves() int {
+	n := 0
+	for _, nd := range p.Nodes {
+		if nd.Kids[0] < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ExtractTree serializes tree root into a payload. The forest is unchanged;
+// pair with RemoveTree to complete a migration send.
+func (f *Forest) ExtractTree(root int32) *TreePayload {
+	rid := f.Root(root)
+	if rid == NoNode {
+		panic(fmt.Sprintf("forest: ExtractTree(%d): tree not held", root))
+	}
+	p := &TreePayload{Root: root, Level0: f.Node(rid).Level}
+	vmap := make(map[int32]int32)
+	mapv := func(v int32) int32 {
+		if v < 0 {
+			return -1
+		}
+		if pv, ok := vmap[v]; ok {
+			return pv
+		}
+		pv := int32(len(p.VIDs))
+		vmap[v] = pv
+		p.VIDs = append(p.VIDs, f.VIDs[v])
+		p.Coords = append(p.Coords, f.Coords[v])
+		return pv
+	}
+	var walk func(id NodeID) int32
+	walk = func(id NodeID) int32 {
+		n := f.Node(id)
+		slot := int32(len(p.Nodes))
+		p.Nodes = append(p.Nodes, PayloadNode{Kids: [2]int32{-1, -1}, MidV: -1})
+		pn := PayloadNode{Kids: [2]int32{-1, -1}, MidV: -1}
+		for i := 0; i < 4; i++ {
+			pn.Verts[i] = mapv(n.Verts[i])
+		}
+		if !n.IsLeaf() {
+			pn.RefEdge = [2]int32{mapv(n.RefEdge[0]), mapv(n.RefEdge[1])}
+			pn.MidV = mapv(n.MidV)
+			pn.Kids[0] = walk(n.Kids[0])
+			pn.Kids[1] = walk(n.Kids[1])
+		}
+		p.Nodes[slot] = pn
+		return slot
+	}
+	walk(rid)
+	return p
+}
+
+// RemoveTree deletes tree root from the forest, freeing its node slots.
+// Vertices that become unreferenced stay in the table as orphans; they are
+// harmless and reclaimed only when a new forest is built from a snapshot.
+func (f *Forest) RemoveTree(root int32) {
+	rid := f.Root(root)
+	if rid == NoNode {
+		panic(fmt.Sprintf("forest: RemoveTree(%d): tree not held", root))
+	}
+	leaves := 0
+	var walk func(id NodeID)
+	walk = func(id NodeID) {
+		n := f.Node(id)
+		if n.IsLeaf() {
+			leaves++
+		} else {
+			walk(n.Kids[0])
+			walk(n.Kids[1])
+		}
+		n.Dead = true
+		f.free = append(f.free, id)
+	}
+	walk(rid)
+	delete(f.roots, root)
+	delete(f.leafCount, root)
+	f.nLeaves -= leaves
+}
+
+// InsertTree splices a payload into the forest, interning its vertices.
+// It panics if the tree is already held.
+func (f *Forest) InsertTree(p *TreePayload) NodeID {
+	if _, ok := f.roots[p.Root]; ok {
+		panic(fmt.Sprintf("forest: InsertTree(%d): tree already held", p.Root))
+	}
+	verts := make([]int32, len(p.VIDs))
+	for i := range p.VIDs {
+		verts[i] = f.InternVertex(p.VIDs[i], p.Coords[i])
+	}
+	mapv := func(v int32) int32 {
+		if v < 0 {
+			return -1
+		}
+		return verts[v]
+	}
+	leaves := 0
+	var build func(slot int32, parent NodeID, level int32) NodeID
+	build = func(slot int32, parent NodeID, level int32) NodeID {
+		pn := p.Nodes[slot]
+		n := Node{
+			Parent: parent,
+			Kids:   [2]NodeID{NoNode, NoNode},
+			Root:   p.Root,
+			Level:  level,
+			MidV:   -1,
+		}
+		for i := 0; i < 4; i++ {
+			n.Verts[i] = mapv(pn.Verts[i])
+		}
+		id := f.alloc(n)
+		if pn.Kids[0] >= 0 {
+			k0 := build(pn.Kids[0], id, level+1)
+			k1 := build(pn.Kids[1], id, level+1)
+			nd := f.Node(id)
+			nd.Kids = [2]NodeID{k0, k1}
+			nd.RefEdge = [2]int32{mapv(pn.RefEdge[0]), mapv(pn.RefEdge[1])}
+			nd.MidV = mapv(pn.MidV)
+		} else {
+			leaves++
+		}
+		return id
+	}
+	rid := build(0, NoNode, p.Level0)
+	f.roots[p.Root] = rid
+	f.leafCount[p.Root] = leaves
+	f.nLeaves += leaves
+	return rid
+}

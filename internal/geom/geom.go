@@ -1,0 +1,108 @@
+// Package geom provides the small geometric vocabulary used by the mesh,
+// refinement and FEM packages: fixed-dimension vectors, simplex measures and
+// axis-aligned bounding boxes.
+//
+// Meshes in this repository are simplicial and live in two or three
+// dimensions. To keep a single mesh representation for both, points are
+// stored as Vec3 with Z = 0 in the planar case; the Dim field of a mesh
+// records the true dimension.
+package geom
+
+import "math"
+
+// Vec3 is a point or vector in R^3. Planar geometry uses Z = 0.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Mid returns the midpoint of the segment [v, w].
+func (v Vec3) Mid(w Vec3) Vec3 {
+	return Vec3{0.5 * (v.X + w.X), 0.5 * (v.Y + w.Y), 0.5 * (v.Z + w.Z)}
+}
+
+// TriangleArea returns the (unsigned) area of the triangle a, b, c.
+// The triangle may be embedded in R^3.
+func TriangleArea(a, b, c Vec3) float64 {
+	return 0.5 * b.Sub(a).Cross(c.Sub(a)).Norm()
+}
+
+// TriangleAreaSigned returns the signed area of the planar triangle a, b, c
+// (positive for counterclockwise orientation). Z coordinates are ignored.
+func TriangleAreaSigned(a, b, c Vec3) float64 {
+	return 0.5 * ((b.X-a.X)*(c.Y-a.Y) - (c.X-a.X)*(b.Y-a.Y))
+}
+
+// TetVolume returns the (unsigned) volume of the tetrahedron a, b, c, d.
+func TetVolume(a, b, c, d Vec3) float64 {
+	return math.Abs(TetVolumeSigned(a, b, c, d))
+}
+
+// TetVolumeSigned returns the signed volume of the tetrahedron a, b, c, d.
+func TetVolumeSigned(a, b, c, d Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Dot(d.Sub(a)) / 6.0
+}
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// EmptyAABB returns a box that contains nothing; extending it with any point
+// yields a degenerate box at that point.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// Extend grows the box to contain p.
+func (b *AABB) Extend(p Vec3) {
+	b.Min.X = math.Min(b.Min.X, p.X)
+	b.Min.Y = math.Min(b.Min.Y, p.Y)
+	b.Min.Z = math.Min(b.Min.Z, p.Z)
+	b.Max.X = math.Max(b.Max.X, p.X)
+	b.Max.Y = math.Max(b.Max.Y, p.Y)
+	b.Max.Z = math.Max(b.Max.Z, p.Z)
+}
+
+// Contains reports whether p lies inside the closed box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Size returns the edge lengths of the box.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }

@@ -1,0 +1,128 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Mid(w); got != (Vec3{2.5, -1.5, 4.5}) {
+		t.Errorf("Mid = %v", got)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6*(1+a.Norm2()*b.Norm2()) &&
+			math.Abs(c.Dot(b)) < 1e-6*(1+a.Norm2()*b.Norm2())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp maps arbitrary float64 inputs (possibly NaN/Inf from quick) into a
+// sane range so the property holds with floating-point tolerance.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e3)
+}
+
+func TestTriangleArea(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	if got := TriangleArea(a, b, c); !almostEq(got, 0.5) {
+		t.Errorf("area = %v, want 0.5", got)
+	}
+	if got := TriangleAreaSigned(a, b, c); !almostEq(got, 0.5) {
+		t.Errorf("signed area = %v, want 0.5", got)
+	}
+	if got := TriangleAreaSigned(a, c, b); !almostEq(got, -0.5) {
+		t.Errorf("signed area = %v, want -0.5", got)
+	}
+	// Degenerate triangle has zero area.
+	if got := TriangleArea(a, b, Vec3{2, 0, 0}); !almostEq(got, 0) {
+		t.Errorf("degenerate area = %v, want 0", got)
+	}
+}
+
+func TestTetVolume(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	d := Vec3{0, 0, 1}
+	if got := TetVolume(a, b, c, d); !almostEq(got, 1.0/6) {
+		t.Errorf("volume = %v, want 1/6", got)
+	}
+	if got := TetVolumeSigned(a, c, b, d); !almostEq(got, -1.0/6) {
+		t.Errorf("signed volume = %v, want -1/6", got)
+	}
+}
+
+func TestTriangleAreaInvariantUnderTranslation(t *testing.T) {
+	f := func(x, y float64) bool {
+		s := Vec3{clamp(x), clamp(y), 0}
+		a, b, c := Vec3{0, 0, 0}, Vec3{3, 1, 0}, Vec3{1, 4, 0}
+		return almostEq2(TriangleArea(a, b, c), TriangleArea(a.Add(s), b.Add(s), c.Add(s)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEq2(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestAABB(t *testing.T) {
+	b := EmptyAABB()
+	if b.Contains(Vec3{0, 0, 0}) {
+		t.Error("empty AABB should contain nothing")
+	}
+	b.Extend(Vec3{1, 2, 3})
+	b.Extend(Vec3{-1, 0, 5})
+	if !b.Contains(Vec3{0, 1, 4}) {
+		t.Error("AABB should contain interior point")
+	}
+	if b.Contains(Vec3{2, 1, 4}) {
+		t.Error("AABB should not contain exterior point")
+	}
+	if got := b.Size(); got != (Vec3{2, 2, 2}) {
+		t.Errorf("Size = %v, want {2 2 2}", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 6, 3}
+	if got := a.Dist(b); !almostEq(got, 5) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist2(b); !almostEq(got, 25) {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := a.Norm2(); !almostEq(got, 14) {
+		t.Errorf("Norm2 = %v, want 14", got)
+	}
+}

@@ -1,0 +1,52 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+)
+
+// ExampleCoarseDual builds the weighted dual graph G of §5: one vertex per
+// coarse element weighted by its leaf count, edges weighted by adjacent
+// leaf pairs.
+func ExampleCoarseDual() {
+	// Two coarse triangles; pretend the fine mesh is a 2×2 refinement with
+	// elements assigned to trees by the diagonal.
+	fine := meshgen.RectTri(2, 2, 0, 0, 1, 1)
+	leafRoot := make([]int32, fine.NumElems())
+	for e := range leafRoot {
+		c := fine.Centroid(e)
+		if c.Y > c.X { // above the main diagonal -> tree 1
+			leafRoot[e] = 1
+		}
+	}
+	g := graph.CoarseDual(2, fine, leafRoot)
+	fmt.Println("vertex weights:", g.VW[0], g.VW[1])
+	var w int64
+	g.Neighbors(0, func(u int32, ew int64) {
+		if u == 1 {
+			w = ew
+		}
+	})
+	fmt.Println("edge weight (adjacent leaf pairs):", w)
+	// Output:
+	// vertex weights: 4 4
+	// edge weight (adjacent leaf pairs): 2
+}
+
+// ExampleProcGraph derives the processor-connectivity graph Hᵗ of §8.
+func ExampleProcGraph() {
+	m := meshgen.RectTri(4, 4, 0, 0, 1, 1)
+	g := graph.FromDual(m)
+	// Four vertical strips.
+	parts := make([]int32, g.N())
+	for e := range parts {
+		parts[e] = int32(m.Centroid(e).X * 4)
+	}
+	h := graph.ProcGraph(g, parts, 4)
+	dist := h.AllPairsBFS()
+	fmt.Println("strip 0 to strip 3 needs", dist[0][3], "hops")
+	// Output:
+	// strip 0 to strip 3 needs 3 hops
+}

@@ -1,0 +1,302 @@
+// Package graph provides the weighted undirected graphs at the center of the
+// repartitioning problem: the dual graph of a mesh, the weighted coarse dual
+// graph G of M⁰ that PNR partitions, multilevel support (heavy-edge matching
+// and contraction), and the processor-connectivity graph Hᵗ of §8.
+//
+// Graphs are stored in CSR form with int64 vertex and edge weights (fine-
+// element counts can reach 10⁵ and balance costs square them).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"pared/internal/la"
+	"pared/internal/mesh"
+)
+
+// Graph is a weighted undirected graph in CSR form. Every edge appears in
+// both endpoints' adjacency lists.
+type Graph struct {
+	Xadj []int32 // offsets, length n+1
+	Adj  []int32 // neighbor vertices
+	EW   []int64 // edge weights, parallel to Adj
+	VW   []int64 // vertex weights, length n
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.VW) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.Adj) / 2 }
+
+// TotalVW returns the sum of vertex weights.
+func (g *Graph) TotalVW() int64 {
+	var s int64
+	for _, w := range g.VW {
+		s += w
+	}
+	return s
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors calls fn(u, w) for every neighbor u of v with edge weight w.
+func (g *Graph) Neighbors(v int32, fn func(u int32, w int64)) {
+	for k := g.Xadj[v]; k < g.Xadj[v+1]; k++ {
+		fn(g.Adj[k], g.EW[k])
+	}
+}
+
+// Validate checks CSR structural invariants and symmetry.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if len(g.Xadj) != n+1 || len(g.Adj) != len(g.EW) {
+		return fmt.Errorf("graph: inconsistent CSR arrays")
+	}
+	if int(g.Xadj[n]) != len(g.Adj) {
+		return fmt.Errorf("graph: Xadj[n]=%d != len(Adj)=%d", g.Xadj[n], len(g.Adj))
+	}
+	type half struct {
+		u, v int32
+	}
+	w := make(map[half]int64, len(g.Adj))
+	for v := int32(0); v < int32(n); v++ {
+		for k := g.Xadj[v]; k < g.Xadj[v+1]; k++ {
+			u := g.Adj[k]
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: neighbor %d out of range", u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			w[half{v, u}] += g.EW[k]
+		}
+	}
+	for h, x := range w {
+		if w[half{h.v, h.u}] != x {
+			return fmt.Errorf("graph: asymmetric edge (%d,%d)", h.u, h.v)
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges (summing duplicates) and vertex weights.
+type Builder struct {
+	n  int
+	vw []int64
+	ew map[uint64]int64
+}
+
+// NewBuilder creates a builder for n vertices, all with weight 1.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, vw: make([]int64, n), ew: make(map[uint64]int64)}
+	for i := range b.vw {
+		b.vw[i] = 1
+	}
+	return b
+}
+
+func ekey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// AddEdge accumulates weight w on the undirected edge {u, v}.
+// Self-loops are ignored.
+func (b *Builder) AddEdge(u, v int32, w int64) {
+	if u == v {
+		return
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range n=%d", u, v, b.n))
+	}
+	b.ew[ekey(u, v)] += w
+}
+
+// SetVW sets the weight of vertex v.
+func (b *Builder) SetVW(v int32, w int64) { b.vw[v] = w }
+
+// Build assembles the CSR graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{Xadj: make([]int32, b.n+1), VW: b.vw}
+	deg := make([]int32, b.n)
+	keys := make([]uint64, 0, len(b.ew))
+	for k := range b.ew {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		u, v := int32(k>>32), int32(uint32(k))
+		deg[u]++
+		deg[v]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.Xadj[i+1] = g.Xadj[i] + deg[i]
+	}
+	g.Adj = make([]int32, g.Xadj[b.n])
+	g.EW = make([]int64, g.Xadj[b.n])
+	pos := make([]int32, b.n)
+	copy(pos, g.Xadj[:b.n])
+	for _, k := range keys {
+		u, v := int32(k>>32), int32(uint32(k))
+		w := b.ew[k]
+		g.Adj[pos[u]], g.EW[pos[u]] = v, w
+		pos[u]++
+		g.Adj[pos[v]], g.EW[pos[v]] = u, w
+		pos[v]++
+	}
+	return g
+}
+
+// FromDual builds the unit-weight dual graph of a mesh: one vertex per
+// element, edges between facet-sharing elements. This is the fine graph the
+// standard partitioners (RSB, Multilevel-KL) operate on in the paper's
+// comparisons.
+func FromDual(m *mesh.Mesh) *Graph {
+	b := NewBuilder(m.NumElems())
+	for _, pair := range m.FacetMap() {
+		if pair[1] >= 0 {
+			b.AddEdge(pair[0], pair[1], 1)
+		}
+	}
+	return b.Build()
+}
+
+// CoarseDual builds the weighted dual graph G of the coarse mesh M⁰ from the
+// current leaf mesh, exactly as §5 defines it: the weight of coarse vertex a
+// is the number of leaves of tree τ_a, and the weight of edge (a,b) is the
+// number of adjacent leaf pairs between τ_a and τ_b.
+//
+// numRoots is the number of coarse elements; leafRoot[e] gives the coarse
+// ancestor of leaf element e of leafMesh.
+func CoarseDual(numRoots int, leafMesh *mesh.Mesh, leafRoot []int32) *Graph {
+	b := NewBuilder(numRoots)
+	counts := make([]int64, numRoots)
+	for _, r := range leafRoot {
+		counts[r]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			c = 1 // a never-refined, never-seen root still has one element
+		}
+		b.SetVW(int32(i), c)
+	}
+	for _, pair := range leafMesh.FacetMap() {
+		if pair[1] >= 0 {
+			r1, r2 := leafRoot[pair[0]], leafRoot[pair[1]]
+			if r1 != r2 {
+				b.AddEdge(r1, r2, 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BFS returns hop distances from src (-1 where unreachable).
+func (g *Graph) BFS(src int32) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.Neighbors(v, func(u int32, _ int64) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		})
+	}
+	return dist
+}
+
+// Components labels connected components; it returns the label array and the
+// number of components.
+func (g *Graph) Components() ([]int32, int) {
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := int32(0)
+	for s := int32(0); s < int32(g.N()); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = c
+		stack := []int32{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.Neighbors(v, func(u int32, _ int64) {
+				if comp[u] < 0 {
+					comp[u] = c
+					stack = append(stack, u)
+				}
+			})
+		}
+		c++
+	}
+	return comp, int(c)
+}
+
+// PseudoPeripheral returns a vertex approximately maximizing eccentricity,
+// found by repeated BFS from the farthest vertex (used to seed graph-growing
+// bisection).
+func (g *Graph) PseudoPeripheral(start int32) int32 {
+	v := start
+	last := int32(-1)
+	for iter := 0; iter < 8; iter++ {
+		dist := g.BFS(v)
+		far, fd := v, int32(-1)
+		for i, d := range dist {
+			if d > fd {
+				far, fd = int32(i), d
+			}
+		}
+		if far == last || far == v {
+			return far
+		}
+		last = v
+		v = far
+	}
+	return v
+}
+
+// Laplacian returns the weighted graph Laplacian L = D − A as a CSR matrix.
+func (g *Graph) Laplacian() *la.CSR {
+	b := la.NewBuilder(g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		g.Neighbors(v, func(u int32, w int64) {
+			b.Add(int(v), int(u), -float64(w))
+			b.Add(int(v), int(v), float64(w))
+		})
+	}
+	return b.Build()
+}
+
+// Subgraph extracts the induced subgraph on the given vertices (which must be
+// distinct). It returns the subgraph and the original index of each subgraph
+// vertex.
+func (g *Graph) Subgraph(verts []int32) (*Graph, []int32) {
+	inv := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		inv[v] = int32(i)
+	}
+	b := NewBuilder(len(verts))
+	for i, v := range verts {
+		b.SetVW(int32(i), g.VW[v])
+		g.Neighbors(v, func(u int32, w int64) {
+			if j, ok := inv[u]; ok && j > int32(i) {
+				b.AddEdge(int32(i), j, w)
+			}
+		})
+	}
+	return b.Build(), append([]int32(nil), verts...)
+}

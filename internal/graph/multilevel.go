@@ -1,0 +1,112 @@
+package graph
+
+import "math/rand"
+
+// HeavyEdgeMatching computes a matching preferring heavy edges, visiting
+// vertices in a seeded random order. match[v] is v's partner, or v itself if
+// unmatched. If allow is non-nil, only pairs with allow(u, v) true are
+// matched — PNR uses this to restrict matching to vertices in the same
+// current part so contracted vertices inherit an unambiguous assignment.
+func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int32 {
+	n := g.N()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		g.Neighbors(v, func(u int32, w int64) {
+			if match[u] >= 0 || u == v {
+				return
+			}
+			if allow != nil && !allow(v, u) {
+				return
+			}
+			if w > bestW || (w == bestW && (best < 0 || u < best)) {
+				best, bestW = u, w
+			}
+		})
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+// Contract builds the coarse graph induced by a matching. It returns the
+// coarse graph and the fine→coarse vertex map. Coarse vertex weights are sums
+// of their constituents'; parallel edges merge by weight; edges internal to a
+// matched pair disappear.
+func Contract(g *Graph, match []int32) (*Graph, []int32) {
+	n := g.N()
+	f2c := make([]int32, n)
+	for i := range f2c {
+		f2c[i] = -1
+	}
+	nc := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		if f2c[v] >= 0 {
+			continue
+		}
+		f2c[v] = nc
+		if m := match[v]; m != v && m >= 0 {
+			f2c[m] = nc
+		}
+		nc++
+	}
+	b := NewBuilder(int(nc))
+	vw := make([]int64, nc)
+	for v := int32(0); v < int32(n); v++ {
+		vw[f2c[v]] += g.VW[v]
+	}
+	for i, w := range vw {
+		b.SetVW(int32(i), w)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		g.Neighbors(v, func(u int32, w int64) {
+			cu, cv := f2c[u], f2c[v]
+			if cu != cv && v < u {
+				b.AddEdge(cv, cu, w)
+			}
+		})
+	}
+	return b.Build(), f2c
+}
+
+// ProcGraph builds the processor-connectivity graph Hᵗ of §8: one vertex per
+// processor, an edge between processors owning adjacent elements of g under
+// the partition parts.
+func ProcGraph(g *Graph, parts []int32, p int) *Graph {
+	b := NewBuilder(p)
+	for v := int32(0); v < int32(g.N()); v++ {
+		g.Neighbors(v, func(u int32, w int64) {
+			if parts[v] != parts[u] && v < u {
+				b.AddEdge(parts[v], parts[u], 1)
+			}
+		})
+	}
+	return b.Build()
+}
+
+// AllPairsBFS returns hop distances between all vertex pairs (-1 where
+// unreachable); intended for small graphs such as Hᵗ.
+func (g *Graph) AllPairsBFS() [][]int32 {
+	out := make([][]int32, g.N())
+	for v := range out {
+		out[v] = g.BFS(int32(v))
+	}
+	return out
+}

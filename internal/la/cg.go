@@ -1,0 +1,75 @@
+package la
+
+import "math"
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ‖b − Ax‖₂
+	Converged  bool
+}
+
+// CG solves A·x = b for symmetric positive-definite A with Jacobi
+// preconditioning, overwriting x (which supplies the initial guess).
+// It stops when the residual norm falls below tol·‖b‖₂ or after maxIter
+// iterations.
+func CG(a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
+	n := a.N
+	d := a.Diag()
+	inv := make([]float64, n)
+	for i, v := range d {
+		if v != 0 {
+			inv[i] = 1 / v
+		} else {
+			inv[i] = 1
+		}
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = inv[i] * r[i]
+	}
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := Dot(r, z)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	res := CGResult{}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		rn := Norm2(r)
+		res.Residual = rn
+		if rn <= tol*bnorm {
+			res.Converged = true
+			return res
+		}
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			// Not SPD (or numerical breakdown); bail with what we have.
+			return res
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = Norm2(r)
+	res.Converged = res.Residual <= tol*bnorm
+	return res
+}

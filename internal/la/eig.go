@@ -1,0 +1,215 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SymTriEig computes all eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix with diagonal d (length n) and sub-diagonal e (length
+// n-1), using the implicit-shift QL algorithm (EISPACK tql2). Eigenvalues are
+// returned in ascending order; vecs[i] is the eigenvector for vals[i].
+func SymTriEig(d, e []float64) (vals []float64, vecs [][]float64) {
+	n := len(d)
+	vals = append([]float64(nil), d...)
+	sub := make([]float64, n)
+	copy(sub, e)
+	// z is the accumulated rotation matrix, stored column-major:
+	// z[j][i] = component i of eigenvector j after transposition below.
+	z := make([][]float64, n)
+	for i := range z {
+		z[i] = make([]float64, n)
+		z[i][i] = 1
+	}
+	const maxSweeps = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(vals[m]) + math.Abs(vals[m+1])
+				if math.Abs(sub[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= maxSweeps {
+				break // best effort; extremely rare
+			}
+			g := (vals[l+1] - vals[l]) / (2 * sub[l])
+			r := math.Hypot(g, 1)
+			g = vals[m] - vals[l] + sub[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * sub[i]
+				b := c * sub[i]
+				r = math.Hypot(f, g)
+				sub[i+1] = r
+				if r == 0 {
+					vals[i+1] -= p
+					sub[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = vals[i+1] - p
+				r = (vals[i]-g)*s + 2*c*b
+				p = s * r
+				vals[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f := z[k][i+1]
+					z[k][i+1] = s*z[k][i] + c*f
+					z[k][i] = c*z[k][i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			vals[l] -= p
+			sub[l] = g
+			sub[m] = 0
+		}
+	}
+	// Sort ascending, carrying eigenvectors (columns of z).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[order[j]] < vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	vecs = make([][]float64, n)
+	for idx, o := range order {
+		sortedVals[idx] = vals[o]
+		v := make([]float64, n)
+		for k := 0; k < n; k++ {
+			v[k] = z[k][o]
+		}
+		vecs[idx] = v
+	}
+	return sortedVals, vecs
+}
+
+// Fiedler computes the eigenvector of the second-smallest eigenvalue of the
+// symmetric Laplacian matrix lap (rows must sum to ~0), using Lanczos with
+// full reorthogonalization on the shifted operator σI − L so the wanted pair
+// is extremal. The constant vector (nullspace of L) is projected out
+// explicitly. The result has unit norm. seed controls the random start.
+func Fiedler(lap *CSR, tol float64, maxIter int, seed int64) []float64 {
+	n := lap.N
+	if n == 1 {
+		return []float64{0}
+	}
+	// σ exceeds λmax(L) ≤ 2·max diag.
+	sigma := 1.0
+	for _, d := range lap.Diag() {
+		if 2*d+1 > sigma {
+			sigma = 2*d + 1
+		}
+	}
+	applyB := func(dst, x []float64) {
+		lap.MulVec(dst, x)
+		for i := range dst {
+			dst[i] = sigma*x[i] - dst[i]
+		}
+	}
+	deflate := func(x []float64) {
+		mean := 0.0
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+		for i := range x {
+			x[i] -= mean
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 300
+	}
+	m := maxIter
+	if m > n-1 {
+		m = n - 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() - 0.5
+	}
+	deflate(v)
+	nv := Norm2(v)
+	if nv == 0 {
+		v[0] = 1
+		deflate(v)
+		nv = Norm2(v)
+	}
+	Scale(1/nv, v)
+
+	vs := make([][]float64, 0, m+1)
+	vs = append(vs, append([]float64(nil), v...))
+	alpha := make([]float64, 0, m)
+	beta := make([]float64, 0, m)
+	w := make([]float64, n)
+	steps := 0
+	for j := 0; j < m; j++ {
+		applyB(w, vs[j])
+		a := Dot(w, vs[j])
+		alpha = append(alpha, a)
+		Axpy(-a, vs[j], w)
+		if j > 0 {
+			Axpy(-beta[j-1], vs[j-1], w)
+		}
+		deflate(w)
+		// Full reorthogonalization for numerical stability.
+		for _, u := range vs {
+			Axpy(-Dot(w, u), u, w)
+		}
+		b := Norm2(w)
+		steps = j + 1
+		if b < 1e-12 {
+			break
+		}
+		beta = append(beta, b)
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = w[i] / b
+		}
+		vs = append(vs, next)
+		// Periodic convergence check on the extremal Ritz pair.
+		if (j+1)%16 == 0 || j == m-1 {
+			vals, vecs := SymTriEig(alpha, beta[:len(alpha)-1])
+			top := len(vals) - 1
+			resid := b * math.Abs(vecs[top][len(alpha)-1])
+			if resid < tol*math.Abs(vals[top]) {
+				break
+			}
+		}
+	}
+	// Ritz vector for the largest eigenvalue of T.
+	vals, vecs := SymTriEig(alpha[:steps], beta[:max(0, steps-1)])
+	s := vecs[len(vals)-1]
+	x := make([]float64, n)
+	for i := 0; i < steps; i++ {
+		Axpy(s[i], vs[i], x)
+	}
+	deflate(x)
+	if nx := Norm2(x); nx > 0 {
+		Scale(1/nx, x)
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+// Package la provides the sparse linear algebra PARED needs: CSR matrices,
+// a conjugate-gradient solver for the FEM systems, and a Lanczos eigensolver
+// used by recursive spectral bisection to compute Fiedler vectors.
+package la
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int // rows == cols (all uses here are square)
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// MulVec computes dst = A·x.
+func (a *CSR) MulVec(dst, x []float64) {
+	if len(dst) != a.N || len(x) != a.N {
+		panic("la: MulVec dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		sum := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			sum += a.Val[k] * x[a.Col[k]]
+		}
+		dst[i] = sum
+	}
+}
+
+// Diag returns the diagonal entries of A (zero where absent).
+func (a *CSR) Diag() []float64 {
+	d := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if int(a.Col[k]) == i {
+				d[i] = a.Val[k]
+			}
+		}
+	}
+	return d
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Builder accumulates COO triplets and assembles a CSR matrix, summing
+// duplicates (the natural fit for FEM assembly).
+type Builder struct {
+	n    int
+	rows []int32
+	cols []int32
+	vals []float64
+}
+
+// NewBuilder creates a builder for an n×n matrix.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// Add accumulates v at (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("la: Add(%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+	b.vals = append(b.vals, v)
+}
+
+// Build assembles the CSR matrix, summing duplicate coordinates.
+func (b *Builder) Build() *CSR {
+	idx := make([]int32, len(b.rows))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if b.rows[i] != b.rows[j] {
+			return b.rows[i] < b.rows[j]
+		}
+		return b.cols[i] < b.cols[j]
+	})
+	a := &CSR{N: b.n, RowPtr: make([]int32, b.n+1)}
+	var lastR, lastC int32 = -1, -1
+	for _, k := range idx {
+		r, c, v := b.rows[k], b.cols[k], b.vals[k]
+		if r == lastR && c == lastC {
+			a.Val[len(a.Val)-1] += v
+			continue
+		}
+		a.Col = append(a.Col, c)
+		a.Val = append(a.Val, v)
+		a.RowPtr[r+1]++
+		lastR, lastC = r, c
+	}
+	for i := 0; i < b.n; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a·x.
+func Axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Scale computes x *= a.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := Dot(x, x)
+	if s <= 0 {
+		return 0
+	}
+	return sqrt(s)
+}

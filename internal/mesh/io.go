@@ -1,0 +1,66 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pared/internal/geom"
+)
+
+// Write serializes the mesh in a simple line-oriented text format:
+//
+//	pared-mesh <dim> <numVerts> <numElems>
+//	x y z                 (numVerts lines)
+//	v0 v1 v2 [v3]         (numElems lines)
+func (m *Mesh) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "pared-mesh %d %d %d\n", m.Dim, m.NumVerts(), m.NumElems())
+	for _, v := range m.Verts {
+		fmt.Fprintf(bw, "%.17g %.17g %.17g\n", v.X, v.Y, v.Z)
+	}
+	for _, el := range m.Elems {
+		if el.Nv() == 3 {
+			fmt.Fprintf(bw, "%d %d %d\n", el.V[0], el.V[1], el.V[2])
+		} else {
+			fmt.Fprintf(bw, "%d %d %d %d\n", el.V[0], el.V[1], el.V[2], el.V[3])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses the format written by Write and validates the result.
+func ReadFrom(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReader(r)
+	var dim, nv, ne int
+	if _, err := fmt.Fscanf(br, "pared-mesh %d %d %d\n", &dim, &nv, &ne); err != nil {
+		return nil, fmt.Errorf("mesh: bad header: %w", err)
+	}
+	if dim != 2 && dim != 3 {
+		return nil, fmt.Errorf("mesh: bad dimension %d", dim)
+	}
+	m := &Mesh{Dim: Dim(dim), Verts: make([]geom.Vec3, nv), Elems: make([]Element, ne)}
+	for i := 0; i < nv; i++ {
+		v := &m.Verts[i]
+		if _, err := fmt.Fscan(br, &v.X, &v.Y, &v.Z); err != nil {
+			return nil, fmt.Errorf("mesh: vertex %d: %w", i, err)
+		}
+	}
+	for i := 0; i < ne; i++ {
+		el := &m.Elems[i]
+		el.V[3] = -1
+		n := 3
+		if dim == 3 {
+			n = 4
+		}
+		for k := 0; k < n; k++ {
+			if _, err := fmt.Fscan(br, &el.V[k]); err != nil {
+				return nil, fmt.Errorf("mesh: element %d: %w", i, err)
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

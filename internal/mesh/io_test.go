@@ -1,0 +1,45 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeshIORoundTrip(t *testing.T) {
+	for _, m := range []*Mesh{twoTri(), twoTet()} {
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dim != m.Dim || got.NumVerts() != m.NumVerts() || got.NumElems() != m.NumElems() {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+		}
+		for i := range m.Verts {
+			if got.Verts[i] != m.Verts[i] {
+				t.Fatalf("vertex %d differs", i)
+			}
+		}
+		for i := range m.Elems {
+			if got.Elems[i] != m.Elems[i] {
+				t.Fatalf("element %d differs", i)
+			}
+		}
+	}
+}
+
+func TestMeshIORejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("not a mesh")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := ReadFrom(strings.NewReader("pared-mesh 5 1 1\n")); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if _, err := ReadFrom(strings.NewReader("pared-mesh 2 3 1\n0 0 0\n1 0 0\n0 1 0\n0 1 9\n")); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}

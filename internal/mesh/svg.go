@@ -1,0 +1,52 @@
+package mesh
+
+import (
+	"fmt"
+	"io"
+)
+
+// svgPalette provides distinguishable fill colors for up to 16 parts; larger
+// part counts cycle.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+	"#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1f77b4", "#ff7f0e",
+	"#2ca02c", "#d62728", "#9467bd", "#8c564b",
+}
+
+// WriteSVG renders a 2D mesh to SVG. If parts is non-nil, elements are filled
+// by part; otherwise they are drawn unfilled. 3D meshes render their XY
+// projection, which is adequate for eyeballing refinement patterns.
+func (m *Mesh) WriteSVG(w io.Writer, parts []int32, pixels int) error {
+	b := m.Bounds()
+	size := b.Size()
+	scale := float64(pixels) / size.X
+	if size.Y*scale > float64(pixels) {
+		scale = float64(pixels) / size.Y
+	}
+	width := size.X * scale
+	height := size.Y * scale
+	tx := func(x float64) float64 { return (x - b.Min.X) * scale }
+	ty := func(y float64) float64 { return height - (y-b.Min.Y)*scale }
+
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	for e, el := range m.Elems {
+		fill := "none"
+		if parts != nil {
+			fill = svgPalette[int(parts[e])%len(svgPalette)]
+		}
+		nv := 3 // triangles; tets project their first face
+		pts := ""
+		for i := 0; i < nv; i++ {
+			v := m.Verts[el.V[i]]
+			pts += fmt.Sprintf("%.2f,%.2f ", tx(v.X), ty(v.Y))
+		}
+		if _, err := fmt.Fprintf(w, `<polygon points="%s" fill="%s" stroke="#333" stroke-width="0.3"/>`+"\n", pts, fill); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

@@ -1,0 +1,129 @@
+// Package par is the message-passing runtime PARED runs on: an MPI-like
+// communicator with point-to-point sends/receives and the collectives the
+// repartitioning phases need (Barrier, Gather, Bcast, Reduce, AllReduce,
+// Alltoall). Ranks are goroutines in one process; transport is typed Go
+// channels. The paper ran on an IBM SP / NOW over MPI; this layer preserves
+// the programming model — per-rank ownership and explicit communication —
+// without the cluster (see DESIGN.md §2).
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tag distinguishes message streams between the same pair of ranks.
+type Tag int
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+type message struct {
+	src  int
+	tag  Tag
+	seq  int64 // collective sequence number (0 for point-to-point traffic)
+	data any
+}
+
+// Comm is one rank's endpoint of the communicator.
+type Comm struct {
+	rank  int
+	size  int
+	world *world
+	// pending holds messages received from the transport but not yet matched
+	// by a Recv (out-of-order tags).
+	pending []message
+	// collSeq counts collective operations; ranks stay in step because every
+	// rank must call collectives in the same order.
+	collSeq int64
+}
+
+type world struct {
+	size  int
+	boxes []chan message // one inbox per rank
+}
+
+// Rank returns this processor's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of processors.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers data to rank dst with the given tag. Data is not copied;
+// by convention senders relinquish ownership of anything they send (the
+// engine serializes mesh state into payload structs before sending).
+func (c *Comm) Send(dst int, tag Tag, data any) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("par: Send to invalid rank %d", dst))
+	}
+	c.world.boxes[dst] <- message{src: c.rank, tag: tag, data: data}
+}
+
+// sendSeq sends a collective message stamped with a sequence number, so that
+// back-to-back collectives of the same kind cannot cross-match.
+func (c *Comm) sendSeq(dst int, tag Tag, seq int64, data any) {
+	c.world.boxes[dst] <- message{src: c.rank, tag: tag, seq: seq, data: data}
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (or from anyone if src == AnySource), returning the payload and the actual
+// source. Messages with non-matching tags are queued, not lost.
+func (c *Comm) Recv(src int, tag Tag) (data any, from int) {
+	return c.recvSeq(src, tag, 0)
+}
+
+func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
+	match := func(m message) bool {
+		return m.tag == tag && m.seq == seq && (src == AnySource || m.src == src)
+	}
+	for i, m := range c.pending {
+		if match(m) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m.data, m.src
+		}
+	}
+	for {
+		m := <-c.world.boxes[c.rank]
+		if match(m) {
+			return m.data, m.src
+		}
+		c.pending = append(c.pending, m)
+	}
+}
+
+// inboxCapacity bounds in-flight messages per rank; sends block beyond it.
+// Collectives never exceed O(size) outstanding messages.
+const inboxCapacity = 4096
+
+// Run executes f on p ranks concurrently and waits for all to finish.
+// A panic on any rank is re-raised on the caller after all ranks stop.
+func Run(p int, f func(c *Comm)) error {
+	if p < 1 {
+		return fmt.Errorf("par: need at least one rank, got %d", p)
+	}
+	w := &world{size: p, boxes: make([]chan message, p)}
+	for i := range w.boxes {
+		w.boxes[i] = make(chan message, inboxCapacity)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if x := recover(); x != nil {
+					errs[rank] = fmt.Errorf("par: rank %d panicked: %v", rank, x)
+				}
+			}()
+			f(&Comm{rank: rank, size: p, world: w})
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,565 @@
+// Package pared implements the distributed adaptive engine the paper's
+// system is named after: each rank owns a set of refinement history trees,
+// adapts them with conformal propagation across rank boundaries, and
+// participates in the four repartitioning phases of Figure 2:
+//
+//	P0  the mesh is adapted (refined / coarsened) in parallel;
+//	P1  each rank computes new vertex and edge weights of the coarse dual
+//	    graph G for its trees;
+//	P2  the weights are sent to the coordinating processor P_C (rank 0);
+//	P3  P_C repartitions G and directs ranks to move refinement trees.
+//
+// Cross-rank conformity uses the deterministic split-edge protocol: a rank
+// broadcasts the splits it performed on shard-boundary edges; receivers apply
+// the ones that exist locally (retaining the rest) and rerun their closure;
+// the loop repeats until a global all-reduce reports quiescence. Because
+// vertex IDs and longest-edge choices are deterministic (see internal/forest),
+// the fixed point equals the serial refinement of the same mesh.
+package pared
+
+import (
+	"fmt"
+	"sort"
+
+	"pared/internal/core"
+	"pared/internal/forest"
+	"pared/internal/graph"
+	"pared/internal/mesh"
+	"pared/internal/par"
+	"pared/internal/partition"
+	"pared/internal/refine"
+)
+
+// Repartitioner computes a new assignment of coarse elements to ranks from
+// the weighted coarse dual graph and the current assignment. core.Repartition
+// (PNR) is the default; the experiment harness substitutes RSB or ML-KL here.
+type Repartitioner func(g *graph.Graph, old []int32, p int) []int32
+
+// Config tunes the engine.
+type Config struct {
+	// Repartition computes new assignments in P3. Defaults to PNR with the
+	// paper's parameters.
+	Repartition Repartitioner
+	// ImbalanceTrigger invokes repartitioning when the leaf-count imbalance
+	// exceeds this fraction (default 0.05). Rebalance can also be forced.
+	ImbalanceTrigger float64
+	// Trace, if set, receives one line per engine phase with timings and
+	// volumes (adapt rounds, weight-gather sizes, migration counts).
+	Trace TraceFunc
+}
+
+func (c Config) withDefaults(p int) Config {
+	if c.Repartition == nil {
+		c.Repartition = func(g *graph.Graph, old []int32, np int) []int32 {
+			return core.Repartition(g, old, np, core.Config{})
+		}
+	}
+	if c.ImbalanceTrigger == 0 {
+		c.ImbalanceTrigger = 0.05
+	}
+	return c
+}
+
+// gfacet is a facet identified by global vertex IDs (sorted; [2] is the
+// sentinel ^0 for 2D edges).
+type gfacet [3]forest.VertexID
+
+// Engine is one rank's view of the distributed computation.
+type Engine struct {
+	Comm   *par.Comm
+	Coarse *mesh.Mesh
+	// Owner maps every coarse element (tree) to its owning rank; replicated.
+	Owner []int32
+	// F holds this rank's trees.
+	F *forest.Forest
+	// R is the refiner over F.
+	R *refine.Refiner
+
+	cfg Config
+	// shared is the conservative set of vertex IDs on (or ever on) the shard
+	// boundary; splits of edges with both endpoints here are exchanged.
+	shared map[forest.VertexID]bool
+	// pending holds remote splits not yet applicable locally.
+	pending map[refine.EdgeSplit]bool
+}
+
+// Message tags used by the engine (collectives use their own range).
+const (
+	tagTrees par.Tag = 100 + iota
+	tagFacets
+)
+
+// New creates the engine on each rank: owner[i] gives the rank of coarse
+// element i; the rank keeps only its own trees.
+func New(c *par.Comm, coarseMesh *mesh.Mesh, owner []int32) *Engine {
+	if len(owner) != coarseMesh.NumElems() {
+		panic("pared: owner length must equal coarse element count")
+	}
+	e := &Engine{
+		Comm:    c,
+		Coarse:  coarseMesh,
+		Owner:   append([]int32(nil), owner...),
+		F:       forest.New(coarseMesh.Dim),
+		cfg:     Config{}.withDefaults(c.Size()),
+		shared:  make(map[forest.VertexID]bool),
+		pending: make(map[refine.EdgeSplit]bool),
+	}
+	// Intern only the vertices of owned elements; IDs are the coarse indices.
+	me := int32(c.Rank())
+	for i, el := range coarseMesh.Elems {
+		if owner[i] != me {
+			continue
+		}
+		var vv [4]int32
+		vv[3] = -1
+		for k := 0; k < el.Nv(); k++ {
+			v := el.V[k]
+			vv[k] = e.F.InternVertex(forest.VertexID(v), coarseMesh.Verts[v])
+		}
+		e.F.AddRoot(int32(i), vv)
+	}
+	e.R = refine.NewRefiner(e.F)
+	e.rebuildShared()
+	return e
+}
+
+// SetConfig replaces the engine configuration (call on every rank alike).
+func (e *Engine) SetConfig(cfg Config) { e.cfg = cfg.withDefaults(e.Comm.Size()) }
+
+// Bootstrap computes an initial partition of the coarse mesh on the
+// coordinator and broadcasts it; every rank then constructs its engine.
+// This mirrors PARED's startup: "this mesh is loaded into a distinguished
+// processor called the coordinator ... which computes an initial partition
+// and distributes the mesh" (§2).
+func Bootstrap(c *par.Comm, coarseMesh *mesh.Mesh) *Engine {
+	var owner []int32
+	if c.Rank() == 0 {
+		g := graph.FromDual(coarseMesh)
+		owner = core.Partition(g, c.Size(), core.Config{})
+	}
+	owner = c.Bcast(0, owner).([]int32)
+	return New(c, coarseMesh, owner)
+}
+
+// rebuildShared recomputes the conservative shard-boundary vertex set from
+// the facets of the current local leaves that have no local partner.
+func (e *Engine) rebuildShared() {
+	e.shared = make(map[forest.VertexID]bool)
+	count := make(map[gfacet]int)
+	e.eachLeafFacet(func(f gfacet, _ int32) { count[f]++ })
+	for f, n := range count {
+		if n == 1 {
+			e.shared[f[0]] = true
+			e.shared[f[1]] = true
+			if f[2] != ^forest.VertexID(0) {
+				e.shared[f[2]] = true
+			}
+		}
+	}
+}
+
+// eachLeafFacet enumerates the facets of all local leaves as global-ID
+// facets, with the leaf's root.
+func (e *Engine) eachLeafFacet(fn func(f gfacet, root int32)) {
+	dim := int(e.F.Dim)
+	e.F.VisitLeaves(func(id forest.NodeID) {
+		n := e.F.Node(id)
+		nv := n.Nv()
+		for skip := 0; skip < nv; skip++ {
+			var f gfacet
+			f[2] = ^forest.VertexID(0)
+			idx := 0
+			for k := 0; k < nv; k++ {
+				if k != skip {
+					f[idx] = e.F.VIDs[n.Verts[k]]
+					idx++
+				}
+			}
+			sortGFacet(&f)
+			fn(f, n.Root)
+		}
+	})
+	_ = dim
+}
+
+func sortGFacet(f *gfacet) {
+	if f[0] > f[1] {
+		f[0], f[1] = f[1], f[0]
+	}
+	if f[1] > f[2] {
+		f[1], f[2] = f[2], f[1]
+	}
+	if f[0] > f[1] {
+		f[0], f[1] = f[1], f[0]
+	}
+}
+
+// AdaptStats reports what a distributed adaptation did (per rank, with
+// global fields identical on every rank).
+type AdaptStats struct {
+	// Rounds is the number of exchange rounds until global quiescence.
+	Rounds int
+	// LocalRefined and LocalCoarsened count this rank's operations.
+	LocalRefined, LocalCoarsened int
+	// GlobalLeaves is the total leaf count after adaptation.
+	GlobalLeaves int64
+}
+
+// Adapt performs distributed conformal adaptation (phase P0): leaves with
+// indicator above refineTol are refined, with split propagation across rank
+// boundaries; if coarsenTol > 0, leaves below it are conformally coarsened
+// (interface-touching groups are left alone — remote leaf usage of a shared
+// midpoint cannot be checked locally, so the engine is conservative there).
+func (e *Engine) Adapt(est refine.Estimator, refineTol, coarsenTol float64, maxLevel int32) AdaptStats {
+	var st AdaptStats
+	var targets []forest.NodeID
+	e.F.VisitLeaves(func(id forest.NodeID) {
+		if e.F.Node(id).Level < maxLevel && est.Indicator(e.F, id) > refineTol {
+			targets = append(targets, id)
+		}
+	})
+	for _, id := range targets {
+		e.R.RefineLeaf(id)
+	}
+	for {
+		st.Rounds++
+		st.LocalRefined += e.R.Closure()
+		// Collect and filter this round's splits: only shard-boundary edges
+		// concern other ranks. Midpoints of shared edges become shared.
+		var out []refine.EdgeSplit
+		for _, s := range e.R.TakeNewSplits() {
+			if e.shared[s.A] && e.shared[s.B] {
+				out = append(out, s)
+				e.shared[forest.MidID(s.A, s.B)] = true
+			}
+		}
+		// Exchange with every rank (p is small; neighbor filtering would cut
+		// traffic but not change results).
+		send := make([]any, e.Comm.Size())
+		for i := range send {
+			send[i] = out
+		}
+		recv := e.Comm.Alltoall(send)
+		for from, v := range recv {
+			if from == e.Comm.Rank() {
+				continue
+			}
+			for _, s := range v.([]refine.EdgeSplit) {
+				if !e.R.IsSplit(s) {
+					e.pending[s] = true
+				}
+			}
+		}
+		applied := 0
+		for s := range e.pending {
+			if e.R.MarkSplitByID(s) {
+				applied++
+				delete(e.pending, s)
+				e.shared[forest.MidID(s.A, s.B)] = true
+			} else if e.R.IsSplit(s) {
+				delete(e.pending, s)
+			}
+		}
+		changed := int64(len(out) + applied)
+		if e.Comm.AllReduceSum(changed) == 0 {
+			break
+		}
+	}
+	if coarsenTol > 0 {
+		st.LocalCoarsened = e.R.Coarsen(func(id forest.NodeID) bool {
+			n := e.F.Node(id)
+			if n.Parent == forest.NoNode {
+				return false
+			}
+			p := e.F.Node(n.Parent)
+			if p.MidV >= 0 && e.shared[e.F.VIDs[p.MidV]] {
+				return false // interface midpoint: remote usage unknown
+			}
+			return est.Indicator(e.F, id) < coarsenTol
+		})
+	}
+	st.GlobalLeaves = e.Comm.AllReduceSum(int64(e.F.NumLeaves()))
+	e.trace("P0 adapt: %d rounds, +%d/-%d local elements, %d global leaves",
+		st.Rounds, st.LocalRefined, st.LocalCoarsened, st.GlobalLeaves)
+	return st
+}
+
+// Imbalance returns the global leaf-count imbalance max/avg − 1.
+func (e *Engine) Imbalance() float64 {
+	local := int64(e.F.NumLeaves())
+	maxL := e.Comm.AllReduceMax(local)
+	total := e.Comm.AllReduceSum(local)
+	avg := float64(total) / float64(e.Comm.Size())
+	if avg == 0 {
+		return 0
+	}
+	return float64(maxL)/avg - 1
+}
+
+// weightReport is a rank's P2 payload: new vertex and edge weights of G for
+// the trees (and tree pairs) it is responsible for.
+type weightReport struct {
+	Roots   []int32 // owned roots
+	VW      []int64 // leaf counts, parallel to Roots
+	EdgeR   []int32 // edge endpoints (r, s) with counted adjacency
+	EdgeS   []int32
+	EdgeW   []int64
+	MyOwner []int32 // this rank's view of ownership (sanity checking)
+}
+
+// facetList is the boundary-facet exchange payload used to count leaf
+// adjacency across rank boundaries.
+type facetList struct {
+	Facets []gfacet
+	Roots  []int32
+}
+
+// RebalanceStats reports a repartitioning step (identical on all ranks).
+type RebalanceStats struct {
+	// Ran is false if imbalance was below the trigger and force was false.
+	Ran bool
+	// MovedTrees and MovedElements count migrated trees and their leaves.
+	MovedTrees, MovedElements int64
+	// CutBefore and CutAfter are weighted coarse-graph cut sizes.
+	CutBefore, CutAfter int64
+	// Imbalance is the post-step leaf imbalance.
+	Imbalance float64
+}
+
+// Rebalance runs phases P1–P3: compute weights, gather at the coordinator,
+// repartition, and migrate trees. If force is false the step is skipped while
+// imbalance is below the configured trigger.
+func (e *Engine) Rebalance(force bool) RebalanceStats {
+	var st RebalanceStats
+	imb := e.Imbalance()
+	doit := int64(0)
+	if force || imb > e.cfg.ImbalanceTrigger {
+		doit = 1
+	}
+	if e.Comm.AllReduceMax(doit) == 0 {
+		st.Imbalance = imb
+		return st
+	}
+	st.Ran = true
+
+	// --- P1: local weight computation.
+	var rep weightReport
+	d1 := timed(func() { rep = e.localWeights() })
+	e.trace("P1 weights: %d roots, %d edge pairs in %v", len(rep.Roots), len(rep.EdgeR), d1)
+
+	// --- P2: gather at the coordinator.
+	var reports []any
+	d2 := timed(func() { reports = e.Comm.Gather(0, rep) })
+	e.trace("P2 gather: %v", d2)
+
+	// --- P3: coordinator repartitions G and broadcasts assignments.
+	var newOwner []int32
+	d3 := timed(func() {
+		if e.Comm.Rank() == 0 {
+			g := buildG(e.Coarse.NumElems(), reports)
+			st.CutBefore = partition.EdgeCut(g, e.Owner)
+			newOwner = e.cfg.Repartition(g, e.Owner, e.Comm.Size())
+			st.CutAfter = partition.EdgeCut(g, newOwner)
+		}
+		newOwner = e.Comm.Bcast(0, newOwner).([]int32)
+	})
+	st.CutBefore = e.Comm.Bcast(0, st.CutBefore).(int64)
+	st.CutAfter = e.Comm.Bcast(0, st.CutAfter).(int64)
+
+	// Migrate trees whose owner changed.
+	var moved, movedElems int64
+	dm := timed(func() { moved, movedElems = e.migrate(newOwner) })
+	st.MovedTrees = e.Comm.AllReduceSum(moved)
+	st.MovedElements = e.Comm.AllReduceSum(movedElems)
+	e.Owner = newOwner
+	st.Imbalance = e.Imbalance()
+	e.trace("P3 repartition+migrate: cut %d->%d, sent %d trees (%d elements) in %v+%v, imbalance %.4f",
+		st.CutBefore, st.CutAfter, moved, movedElems, d3, dm, st.Imbalance)
+	return st
+}
+
+// localWeights computes this rank's contribution to G's weights: leaf counts
+// for owned roots, adjacency counts for locally-visible pairs, and — via a
+// pairwise facet exchange with lower-ranked peers — adjacency across rank
+// boundaries.
+func (e *Engine) localWeights() weightReport {
+	var rep weightReport
+	for _, r := range e.F.Roots() {
+		rep.Roots = append(rep.Roots, r)
+		rep.VW = append(rep.VW, int64(e.F.LeafCount(r)))
+	}
+	// Facets internal to the shard: count pairs between different local
+	// trees; facets seen once are shard-boundary candidates for the exchange.
+	first := make(map[gfacet]int32)
+	pair := make(map[[2]int32]int64)
+	var boundary facetList
+	e.eachLeafFacet(func(f gfacet, root int32) {
+		if other, ok := first[f]; ok {
+			if other != root {
+				k := [2]int32{min32(other, root), max32(other, root)}
+				pair[k]++
+			}
+			delete(first, f)
+			return
+		}
+		first[f] = root
+	})
+	for f, root := range first {
+		boundary.Facets = append(boundary.Facets, f)
+		boundary.Roots = append(boundary.Roots, root)
+	}
+	// Pairwise exchange: every rank sends its boundary list to all higher
+	// ranks; the higher rank matches and owns the mixed pair counts.
+	me := e.Comm.Rank()
+	for dst := me + 1; dst < e.Comm.Size(); dst++ {
+		e.Comm.Send(dst, tagFacets, boundary)
+	}
+	mine := make(map[gfacet]int32, len(boundary.Facets))
+	for i, f := range boundary.Facets {
+		mine[f] = boundary.Roots[i]
+	}
+	for src := 0; src < me; src++ {
+		data, _ := e.Comm.Recv(src, tagFacets)
+		fl := data.(facetList)
+		for i, f := range fl.Facets {
+			if r, ok := mine[f]; ok {
+				s := fl.Roots[i]
+				k := [2]int32{min32(r, s), max32(r, s)}
+				pair[k]++
+			}
+		}
+	}
+	keys := make([][2]int32, 0, len(pair))
+	for k := range pair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rep.EdgeR = append(rep.EdgeR, k[0])
+		rep.EdgeS = append(rep.EdgeS, k[1])
+		rep.EdgeW = append(rep.EdgeW, pair[k])
+	}
+	return rep
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildG assembles the coarse dual graph from all ranks' weight reports.
+func buildG(numRoots int, reports []any) *graph.Graph {
+	b := graph.NewBuilder(numRoots)
+	for _, a := range reports {
+		rep := a.(weightReport)
+		for i, r := range rep.Roots {
+			b.SetVW(r, rep.VW[i])
+		}
+		for i := range rep.EdgeR {
+			b.AddEdge(rep.EdgeR[i], rep.EdgeS[i], rep.EdgeW[i])
+		}
+	}
+	return b.Build()
+}
+
+// migrate sends trees to their new owners and splices in received ones,
+// then rebuilds the refiner (edge incidence changed wholesale).
+func (e *Engine) migrate(newOwner []int32) (trees, elems int64) {
+	me := int32(e.Comm.Rank())
+	outgoing := make([][]*forest.TreePayload, e.Comm.Size())
+	for _, r := range e.F.Roots() {
+		if newOwner[r] != me {
+			p := e.F.ExtractTree(r)
+			outgoing[newOwner[r]] = append(outgoing[newOwner[r]], p)
+			e.F.RemoveTree(r)
+			trees++
+			elems += int64(p.NumLeaves())
+		}
+	}
+	send := make([]any, e.Comm.Size())
+	for i := range send {
+		send[i] = outgoing[i]
+	}
+	recv := e.Comm.Alltoall(send)
+	for from, v := range recv {
+		if from == e.Comm.Rank() {
+			continue
+		}
+		for _, p := range v.([]*forest.TreePayload) {
+			e.F.InsertTree(p)
+		}
+	}
+	e.F.CompactVertices() // reclaim orphans left by departed trees
+	e.R = refine.NewRefiner(e.F)
+	e.pending = make(map[refine.EdgeSplit]bool)
+	e.rebuildShared()
+	return trees, elems
+}
+
+// GatherForest reconstructs the full forest on the given root rank (nil on
+// other ranks) — a verification utility for tests and the harness.
+func (e *Engine) GatherForest(root int) *forest.Forest {
+	var payloads []*forest.TreePayload
+	for _, r := range e.F.Roots() {
+		payloads = append(payloads, e.F.ExtractTree(r))
+	}
+	all := e.Comm.Gather(root, payloads)
+	if e.Comm.Rank() != root {
+		return nil
+	}
+	g := forest.New(e.F.Dim)
+	for _, a := range all {
+		for _, p := range a.([]*forest.TreePayload) {
+			g.InsertTree(p)
+		}
+	}
+	return g
+}
+
+// CheckConsistency verifies cross-rank invariants (every tree owned exactly
+// once, owner map agreement) and local refiner invariants. Intended for tests.
+func (e *Engine) CheckConsistency() error {
+	if err := e.R.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, r := range e.F.Roots() {
+		if e.Owner[r] != int32(e.Comm.Rank()) {
+			return fmt.Errorf("pared: rank %d holds tree %d owned by %d", e.Comm.Rank(), r, e.Owner[r])
+		}
+	}
+	lists := e.Comm.Gather(0, e.F.Roots())
+	var verdict string
+	if e.Comm.Rank() == 0 {
+		held := make([]int, e.Coarse.NumElems())
+		for _, a := range lists {
+			for _, r := range a.([]int32) {
+				held[r]++
+			}
+		}
+		for i, h := range held {
+			if h != 1 {
+				verdict = fmt.Sprintf("tree %d held by %d ranks", i, h)
+				break
+			}
+		}
+	}
+	verdict = e.Comm.Bcast(0, verdict).(string)
+	if verdict != "" {
+		return fmt.Errorf("pared: %s", verdict)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package pared
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceFunc receives one structured line per engine phase when installed via
+// Config.Trace — the observability hook a long-running simulation needs to
+// see where its time goes (the paper's motivation: "the time to migrate data
+// can be a large fraction of the total time").
+type TraceFunc func(line string)
+
+// trace emits a formatted event if tracing is enabled.
+func (e *Engine) trace(format string, args ...any) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(fmt.Sprintf("[rank %d] %s", e.Comm.Rank(), fmt.Sprintf(format, args...)))
+	}
+}
+
+// timed runs fn and returns its wall-clock duration.
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,281 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"pared/internal/graph"
+)
+
+// moveEntry is a candidate vertex move with the gain at push time; entries
+// are invalidated lazily via per-vertex stamps.
+type moveEntry struct {
+	gain  int64
+	v     int32
+	stamp int32
+}
+
+type moveHeap []moveEntry
+
+func (h moveHeap) Len() int { return len(h) }
+func (h moveHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain // max-heap
+	}
+	return h[i].v < h[j].v
+}
+func (h moveHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *moveHeap) Push(x any)        { *h = append(*h, x.(moveEntry)) }
+func (h *moveHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *moveHeap) push(e moveEntry)  { heap.Push(h, e) }
+func (h *moveHeap) popTop() moveEntry { return heap.Pop(h).(moveEntry) }
+
+// GrowBisection produces a 2-way partition by breadth-first region growing
+// from a pseudo-peripheral vertex until part 0 holds ~target0 weight.
+// Vertices unreachable from the seed are distributed to the lighter side.
+func GrowBisection(g *graph.Graph, target0 int64, seed int64) []int32 {
+	n := g.N()
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = 1
+	}
+	if n == 0 {
+		return parts
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := g.PseudoPeripheral(int32(rng.Intn(n)))
+	var w0 int64
+	visited := make([]bool, n)
+	queue := []int32{start}
+	visited[start] = true
+	for len(queue) > 0 && w0 < target0 {
+		v := queue[0]
+		queue = queue[1:]
+		// Take v into part 0 if that brings us closer to the target.
+		if abs64(w0+g.VW[v]-target0) <= abs64(w0-target0) {
+			parts[v] = 0
+			w0 += g.VW[v]
+		}
+		g.Neighbors(v, func(u int32, _ int64) {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		})
+	}
+	// Disconnected leftovers: fill part 0 toward its target.
+	for v := int32(0); v < int32(n); v++ {
+		if !visited[v] && w0+g.VW[v] <= target0 {
+			parts[v] = 0
+			w0 += g.VW[v]
+		}
+	}
+	return parts
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FM2Refine improves a 2-way partition in place with Fiduccia–Mattheyses
+// passes: repeatedly apply the best-gain vertex move that keeps the deviation
+// from the weight targets within tolW (or reduces it), locking each vertex
+// once per pass, and keep the best prefix. It returns the final cut.
+func FM2Refine(g *graph.Graph, parts []int32, targets [2]int64, tolW int64, passes int) int64 {
+	n := g.N()
+	if tolW < 1 {
+		tolW = 1
+	}
+	gain := make([]int64, n)
+	stamps := make([]int32, n)
+	locked := make([]bool, n)
+	cut := EdgeCut(g, parts)
+	for pass := 0; pass < passes; pass++ {
+		w := PartWeights(g, parts, 2)
+		prevCut, prevDev := cut, abs64(w[0]-targets[0])
+		for v := range locked {
+			locked[v] = false
+		}
+		var heaps [2]moveHeap
+		for v := int32(0); v < int32(n); v++ {
+			gv := int64(0)
+			g.Neighbors(v, func(u int32, ew int64) {
+				if parts[u] == parts[v] {
+					gv -= ew
+				} else {
+					gv += ew
+				}
+			})
+			gain[v] = gv
+			stamps[v]++
+			heaps[parts[v]].push(moveEntry{gv, v, stamps[v]})
+		}
+		type rec struct {
+			v   int32
+			cut int64
+			dev int64
+		}
+		var moves []rec
+		dev := abs64(w[0] - targets[0])
+		curCut := cut
+		bestIdx := -1
+		bestCut, bestDev := cut, dev
+		feasible := func(d int64) bool { return d <= tolW }
+		better := func(c, d int64) bool {
+			if feasible(d) != feasible(bestDev) {
+				return feasible(d)
+			}
+			if feasible(d) {
+				return c < bestCut || (c == bestCut && d < bestDev)
+			}
+			return d < bestDev || (d == bestDev && c < bestCut)
+		}
+		if feasible(dev) {
+			bestIdx = -1 // empty prefix is acceptable
+		}
+		for {
+			// Select the best valid move across both directions.
+			var sel *moveEntry
+			var selSide int32 = -1
+			for side := int32(0); side < 2; side++ {
+				h := &heaps[side]
+				for h.Len() > 0 {
+					top := (*h)[0]
+					if top.stamp != stamps[top.v] || locked[top.v] || parts[top.v] != side {
+						h.popTop()
+						continue
+					}
+					// Balance admissibility: moving from `side` to 1−side.
+					// Never empty a side that has a nonzero target.
+					nd := abs64(w[0] - targets[0] - delta0(side, g.VW[top.v]))
+					if w[side]-g.VW[top.v] <= 0 && targets[side] > 0 {
+						h.popTop()
+						locked[top.v] = true
+						continue
+					}
+					if nd > dev && nd > tolW {
+						// Would worsen an already-tight balance; skip this
+						// vertex for the rest of the pass.
+						h.popTop()
+						locked[top.v] = true
+						continue
+					}
+					if sel == nil || top.gain > sel.gain || (top.gain == sel.gain && top.v < sel.v) {
+						e := top
+						sel = &e
+						selSide = side
+					}
+					break
+				}
+			}
+			if sel == nil {
+				break
+			}
+			heaps[selSide].popTop()
+			v := sel.v
+			from := parts[v]
+			to := 1 - from
+			parts[v] = to
+			locked[v] = true
+			curCut -= gain[v]
+			w[from] -= g.VW[v]
+			w[to] += g.VW[v]
+			dev = abs64(w[0] - targets[0])
+			g.Neighbors(v, func(u int32, ew int64) {
+				if locked[u] {
+					return
+				}
+				if parts[u] == from {
+					gain[u] += 2 * ew
+				} else {
+					gain[u] -= 2 * ew
+				}
+				stamps[u]++
+				heaps[parts[u]].push(moveEntry{gain[u], u, stamps[u]})
+			})
+			moves = append(moves, rec{v, curCut, dev})
+			if better(curCut, dev) {
+				bestIdx = len(moves) - 1
+				bestCut, bestDev = curCut, dev
+			}
+		}
+		// Revert to the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			v := moves[i].v
+			parts[v] = 1 - parts[v]
+		}
+		cut = bestCut
+		if bestIdx < 0 {
+			cut = prevCut
+		}
+		if !(cut < prevCut || bestDev < prevDev) {
+			break
+		}
+	}
+	return cut
+}
+
+// delta0 returns the change to W0 − target0 if a vertex of weight vw moves
+// out of `side`.
+func delta0(side int32, vw int64) int64 {
+	if side == 0 {
+		return vw
+	}
+	return -vw
+}
+
+// Bisector produces a 2-way partition of g with part-0 weight near targets[0].
+// level is the recursion depth (usable for seeding).
+type Bisector func(g *graph.Graph, targets [2]int64, level int) []int32
+
+// RecursiveBisect builds a p-way partition by recursive bisection with
+// proportional weight targets, the strategy Chaco uses for both its
+// multilevel-KL and RSB modes.
+func RecursiveBisect(g *graph.Graph, p int, bisect Bisector) []int32 {
+	parts := make([]int32, g.N())
+	verts := make([]int32, g.N())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	var rec func(sub *graph.Graph, orig []int32, p int, base int32, level int)
+	rec = func(sub *graph.Graph, orig []int32, p int, base int32, level int) {
+		if p <= 1 {
+			for _, v := range orig {
+				parts[v] = base
+			}
+			return
+		}
+		p0 := (p + 1) / 2
+		total := sub.TotalVW()
+		t0 := total * int64(p0) / int64(p)
+		half := bisect(sub, [2]int64{t0, total - t0}, level)
+		var side0, side1 []int32
+		for i, s := range half {
+			if s == 0 {
+				side0 = append(side0, int32(i))
+			} else {
+				side1 = append(side1, int32(i))
+			}
+		}
+		for _, vs := range [2]struct {
+			ids  []int32
+			pp   int
+			base int32
+		}{{side0, p0, base}, {side1, p - p0, base + int32(p0)}} {
+			if len(vs.ids) == 0 {
+				continue
+			}
+			sg, m := sub.Subgraph(vs.ids)
+			o := make([]int32, len(m))
+			for i, si := range m {
+				o[i] = orig[si]
+			}
+			rec(sg, o, vs.pp, vs.base, level+1)
+		}
+	}
+	rec(g, verts, p, 0, 0)
+	return parts
+}

@@ -1,0 +1,40 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"pared/internal/graph"
+	"pared/internal/partition"
+)
+
+// ExampleMinMigrationRelabel shows the Biswas–Oliker permutation (§7): a new
+// partition that is just a relabeling of the old one migrates nothing after
+// the Hungarian remap.
+func ExampleMinMigrationRelabel() {
+	b := graph.NewBuilder(6)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	g := b.Build()
+	old := []int32{0, 0, 1, 1, 2, 2}
+	relabeled := []int32{2, 2, 0, 0, 1, 1} // same subsets, different labels
+
+	fmt.Println("before remap:", partition.MigrationCost(g.VW, old, relabeled))
+	fixed := partition.MinMigrationRelabel(g.VW, old, relabeled, 3)
+	fmt.Println("after remap: ", partition.MigrationCost(g.VW, old, fixed))
+	// Output:
+	// before remap: 6
+	// after remap:  0
+}
+
+// ExampleEdgeCut computes the weighted cut of a partition.
+func ExampleEdgeCut() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 5)
+	g := b.Build()
+	fmt.Println(partition.EdgeCut(g, []int32{0, 0, 1, 1}))
+	// Output:
+	// 1
+}

@@ -1,0 +1,103 @@
+package geometric
+
+import (
+	"math"
+	"testing"
+
+	"pared/internal/geom"
+	"pared/internal/graph"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+)
+
+func centroids(m *mesh.Mesh) []geom.Vec3 {
+	out := make([]geom.Vec3, m.NumElems())
+	for e := range out {
+		out[e] = m.Centroid(e)
+	}
+	return out
+}
+
+func TestRCBGrid(t *testing.T) {
+	m := meshgen.RectTri(16, 16, 0, 0, 1, 1)
+	g := graph.FromDual(m)
+	for _, p := range []int{2, 4, 8, 7} {
+		parts := Partition(g, centroids(m), p, RCB)
+		if err := partition.Check(parts, p); err != nil {
+			t.Fatal(err)
+		}
+		if im := partition.Imbalance(g, parts, p); im > 0.1 {
+			t.Errorf("p=%d imbalance %v", p, im)
+		}
+		seen := map[int32]bool{}
+		for _, pt := range parts {
+			seen[pt] = true
+		}
+		if len(seen) != p {
+			t.Errorf("p=%d: %d parts used", p, len(seen))
+		}
+	}
+}
+
+func TestInertialAlignsWithElongation(t *testing.T) {
+	// A 4:1 elongated strip: the first inertial split must be across X.
+	m := meshgen.RectTri(32, 8, 0, 0, 4, 1)
+	g := graph.FromDual(m)
+	parts := Partition(g, centroids(m), 2, Inertial)
+	// All part-0 centroids should be left of part-1 centroids (or vice
+	// versa) — a clean X split.
+	max0, min1 := -math.MaxFloat64, math.MaxFloat64
+	for e := range parts {
+		x := m.Centroid(e).X
+		if parts[e] == 0 && x > max0 {
+			max0 = x
+		}
+		if parts[e] == 1 && x < min1 {
+			min1 = x
+		}
+	}
+	if max0 > min1+0.2 {
+		t.Errorf("inertial split not across the long axis: max0=%v min1=%v", max0, min1)
+	}
+}
+
+func TestPrincipalAxis(t *testing.T) {
+	// Diagonal matrix: the axis of the largest entry.
+	ev := principalAxis([3][3]float64{{1, 0, 0}, {0, 5, 0}, {0, 0, 2}})
+	if math.Abs(math.Abs(ev.Y)-1) > 1e-9 {
+		t.Errorf("principal axis = %v, want ±Y", ev)
+	}
+	// Rank-1 matrix vvᵀ with v = (1,1,0)/√2.
+	ev = principalAxis([3][3]float64{{0.5, 0.5, 0}, {0.5, 0.5, 0}, {0, 0, 0}})
+	if math.Abs(math.Abs(ev.Dot(geom.Vec3{X: 1, Y: 1}))-math.Sqrt2) > 1e-6 {
+		t.Errorf("principal axis = %v, want ±(1,1,0)/√2", ev)
+	}
+}
+
+func TestGeometricWorseThanSpectralClaim(t *testing.T) {
+	// §3.1: geometric methods produce worse partitions than spectral; our
+	// reproduction must at least never show geometric better by a margin.
+	m := meshgen.RectTri(20, 20, -1, -1, 1, 1)
+	g := graph.FromDual(m)
+	rcb := Partition(g, centroids(m), 8, RCB)
+	cutRCB := partition.EdgeCut(g, rcb)
+	// Compare against a structured reference: RCB on a uniform grid is near
+	// optimal, so just sanity-bound the cut here; the real spectral-vs-
+	// geometric comparison runs in the `geo` experiment on adapted meshes.
+	if cutRCB > 300 {
+		t.Errorf("RCB cut %d absurdly large", cutRCB)
+	}
+}
+
+func TestRCB3D(t *testing.T) {
+	m := meshgen.BoxTet(4, 4, 4, 0, 0, 0, 1, 1, 1)
+	g := graph.FromDual(m)
+	parts := Partition(g, centroids(m), 8, RCB)
+	if err := partition.Check(parts, 8); err != nil {
+		t.Fatal(err)
+	}
+	if im := partition.Imbalance(g, parts, 8); im > 0.1 {
+		t.Errorf("3D imbalance %v", im)
+	}
+}

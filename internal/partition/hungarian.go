@@ -1,0 +1,100 @@
+package partition
+
+import "math"
+
+// Hungarian solves the n×n minimum-cost assignment problem, returning
+// assign[j] = the row assigned to column j. O(n³) potentials formulation.
+func Hungarian(cost [][]int64) []int {
+	n := len(cost)
+	const inf = math.MaxInt64 / 4
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j (1-based)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		assign[j-1] = p[j] - 1
+	}
+	return assign
+}
+
+// MinMigrationRelabel implements the Biswas–Oliker heuristic (§7): permute
+// the subsets of the new partition among processors so the total weight that
+// must migrate from the old assignment is minimized. It returns the relabeled
+// new partition Π̃. The relabeling cannot change cut size or balance — only
+// which processor each subset lands on.
+func MinMigrationRelabel(vw []int64, old, new []int32, p int) []int32 {
+	// keep[i][j] = weight already on processor i that subset j would keep
+	// there if j is assigned to i.
+	keep := make([][]int64, p)
+	for i := range keep {
+		keep[i] = make([]int64, p)
+	}
+	var maxKeep int64 = 1
+	for v := range old {
+		keep[old[v]][new[v]] += vw[v]
+		if keep[old[v]][new[v]] > maxKeep {
+			maxKeep = keep[old[v]][new[v]]
+		}
+	}
+	// Maximize total kept weight == minimize (maxKeep − keep).
+	cost := make([][]int64, p)
+	for i := range cost {
+		cost[i] = make([]int64, p)
+		for j := range cost[i] {
+			cost[i][j] = maxKeep - keep[i][j]
+		}
+	}
+	assign := Hungarian(cost) // assign[j] = processor for subset j
+	out := make([]int32, len(new))
+	for v := range new {
+		out[v] = int32(assign[new[v]])
+	}
+	return out
+}

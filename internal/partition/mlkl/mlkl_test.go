@@ -1,0 +1,79 @@
+package mlkl
+
+import (
+	"testing"
+
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+)
+
+func TestPartitionGridQuality(t *testing.T) {
+	m := meshgen.RectTri(24, 24, 0, 0, 1, 1) // 1152 triangles
+	g := graph.FromDual(m)
+	for _, p := range []int{2, 4, 8, 16} {
+		parts := Partition(g, p, Config{})
+		if err := partition.Check(parts, p); err != nil {
+			t.Fatal(err)
+		}
+		if im := partition.Imbalance(g, parts, p); im > 0.1 {
+			t.Errorf("p=%d imbalance = %v", p, im)
+		}
+		cut := partition.EdgeCut(g, parts)
+		// A p-way partition of an n×n triangle grid should cut O(p·n/√p)
+		// edges; allow generous slack but catch disasters (random cut would
+		// be ~(1-1/p) of ~1700 edges).
+		bound := int64(40 * p)
+		if p >= 8 {
+			bound = int64(25 * p)
+		}
+		if cut > bound {
+			t.Errorf("p=%d cut = %d, want <= %d", p, cut, bound)
+		}
+	}
+}
+
+func TestPartitionWeighted(t *testing.T) {
+	// Heavily weighted vertices must still balance.
+	m := meshgen.RectTri(12, 12, 0, 0, 1, 1)
+	g := graph.FromDual(m)
+	for v := range g.VW {
+		c := m.Centroid(v)
+		if c.X > 0.5 {
+			g.VW[v] = 20
+		}
+	}
+	parts := Partition(g, 4, Config{})
+	if im := partition.Imbalance(g, parts, 4); im > 0.15 {
+		t.Errorf("imbalance with weights = %v", im)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := graph.FromDual(meshgen.RectTri(10, 10, 0, 0, 1, 1))
+	a := Partition(g, 8, Config{Seed: 42})
+	b := Partition(g, 8, Config{Seed: 42})
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestPartitionTinyGraph(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	parts := Partition(g, 2, Config{})
+	if err := partition.Check(parts, 2); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, p := range parts {
+		seen[p] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("tiny graph not split: %v", parts)
+	}
+}

@@ -1,0 +1,280 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+)
+
+func gridGraph(n int) *graph.Graph {
+	return graph.FromDual(meshgen.RectTri(n, n, 0, 0, 1, 1))
+}
+
+func TestEdgeCutAndWeights(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 3, 4)
+	g := b.Build()
+	parts := []int32{0, 0, 1, 1}
+	if c := EdgeCut(g, parts); c != 3 {
+		t.Errorf("cut = %d, want 3", c)
+	}
+	w := PartWeights(g, parts, 2)
+	if w[0] != 2 || w[1] != 2 {
+		t.Errorf("weights = %v", w)
+	}
+	if im := Imbalance(g, parts, 2); im != 0 {
+		t.Errorf("imbalance = %v, want 0", im)
+	}
+	if bc := BalanceCost(g, parts, 2); bc != 0 {
+		t.Errorf("balance cost = %v, want 0", bc)
+	}
+	if bc := BalanceCost(g, []int32{0, 0, 0, 1}, 2); bc != 2 {
+		t.Errorf("balance cost = %v, want 2", bc)
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	vw := []int64{5, 1, 2, 7}
+	old := []int32{0, 0, 1, 1}
+	newp := []int32{0, 1, 1, 0}
+	if c := MigrationCost(vw, old, newp); c != 8 {
+		t.Errorf("migration = %d, want 8", c)
+	}
+	dist := [][]int32{{0, 2}, {2, 0}}
+	if c := WeightedMigrationCost(vw, old, newp, dist); c != 16 {
+		t.Errorf("weighted migration = %d, want 16", c)
+	}
+}
+
+func TestHungarianSmall(t *testing.T) {
+	cost := [][]int64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := Hungarian(cost) // assign[col] = row
+	// Optimal: rows (0,1,2) -> cols (1,0,2) with cost 1+2+2 = 5.
+	total := int64(0)
+	seen := make(map[int]bool)
+	for j, i := range assign {
+		total += cost[i][j]
+		if seen[i] {
+			t.Fatal("row assigned twice")
+		}
+		seen[i] = true
+	}
+	if total != 5 {
+		t.Errorf("assignment cost = %d, want 5", total)
+	}
+}
+
+func TestHungarianOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(rng.Intn(50))
+			}
+		}
+		assign := Hungarian(cost)
+		got := int64(0)
+		for j, i := range assign {
+			got += cost[i][j]
+		}
+		best := bruteForceAssign(cost)
+		if got != best {
+			t.Fatalf("trial %d: hungarian %d, brute force %d, cost %v", trial, got, best, cost)
+		}
+	}
+}
+
+func bruteForceAssign(cost [][]int64) int64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best int64 = 1 << 60
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			var c int64
+			for j, i := range perm {
+				c += cost[i][j]
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+func TestMinMigrationRelabel(t *testing.T) {
+	// New partition is a relabeling of the old one: after relabeling,
+	// migration should be zero.
+	g := gridGraph(6)
+	old := make([]int32, g.N())
+	for v := range old {
+		old[v] = int32(v % 4)
+	}
+	relab := []int32{2, 3, 1, 0}
+	newp := make([]int32, g.N())
+	for v := range newp {
+		newp[v] = relab[old[v]]
+	}
+	fixed := MinMigrationRelabel(g.VW, old, newp, 4)
+	if c := MigrationCost(g.VW, old, fixed); c != 0 {
+		t.Errorf("migration after relabel = %d, want 0", c)
+	}
+	// Relabeling must never increase migration.
+	rng := rand.New(rand.NewSource(4))
+	for v := range newp {
+		newp[v] = int32(rng.Intn(4))
+	}
+	fixed = MinMigrationRelabel(g.VW, old, newp, 4)
+	if MigrationCost(g.VW, old, fixed) > MigrationCost(g.VW, old, newp) {
+		t.Error("relabeling increased migration")
+	}
+	if EdgeCut(g, fixed) != EdgeCut(g, newp) {
+		t.Error("relabeling changed the cut")
+	}
+}
+
+func TestGrowBisectionBalanced(t *testing.T) {
+	g := gridGraph(10)
+	total := g.TotalVW()
+	parts := GrowBisection(g, total/2, 1)
+	if err := Check(parts, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := PartWeights(g, parts, 2)
+	if abs64(w[0]-total/2) > total/10 {
+		t.Errorf("weights %v far from balanced (total %d)", w, total)
+	}
+}
+
+func TestFM2RefineImprovesRandomPartition(t *testing.T) {
+	g := gridGraph(12)
+	rng := rand.New(rand.NewSource(5))
+	parts := make([]int32, g.N())
+	for v := range parts {
+		parts[v] = int32(rng.Intn(2))
+	}
+	before := EdgeCut(g, parts)
+	total := g.TotalVW()
+	after := FM2Refine(g, parts, [2]int64{total / 2, total - total/2}, total/50, 10)
+	if after >= before {
+		t.Errorf("FM did not improve cut: %d -> %d", before, after)
+	}
+	if after != EdgeCut(g, parts) {
+		t.Errorf("returned cut %d inconsistent with actual %d", after, EdgeCut(g, parts))
+	}
+	w := PartWeights(g, parts, 2)
+	if abs64(w[0]-total/2) > total/20 {
+		t.Errorf("FM broke balance: %v", w)
+	}
+}
+
+func TestFM2RefineRestoresBalance(t *testing.T) {
+	// Start from a wildly unbalanced partition; FM must pull it within
+	// tolerance.
+	g := gridGraph(10)
+	parts := make([]int32, g.N())
+	for v := 0; v < 10; v++ {
+		parts[v] = 1
+	}
+	total := g.TotalVW()
+	tolW := total / 25
+	FM2Refine(g, parts, [2]int64{total / 2, total - total/2}, tolW, 20)
+	w := PartWeights(g, parts, 2)
+	if abs64(w[0]-total/2) > tolW {
+		t.Errorf("FM left imbalance: %v (tol %d)", w, tolW)
+	}
+}
+
+func TestRecursiveBisectCoversAllParts(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gridGraph(8)
+		p := 2 + int(seed%7+7)%7 // 2..8, handles negatives
+		parts := RecursiveBisect(g, p, func(sub *graph.Graph, targets [2]int64, level int) []int32 {
+			half := GrowBisection(sub, targets[0], seed+int64(level))
+			FM2Refine(sub, half, targets, max64(1, (targets[0]+targets[1])/50), 4)
+			return half
+		})
+		if Check(parts, p) != nil {
+			return false
+		}
+		seen := make(map[int32]bool)
+		for _, pt := range parts {
+			seen[pt] = true
+		}
+		return len(seen) == p && Imbalance(g, parts, p) < 0.35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAdjacentSubdomains(t *testing.T) {
+	// 2x2 block layout on a grid: corner blocks touch 2 or 3 others.
+	m := meshgen.RectTri(8, 8, 0, 0, 1, 1)
+	g := graph.FromDual(m)
+	parts := make([]int32, g.N())
+	for e := range parts {
+		c := m.Centroid(e)
+		p := int32(0)
+		if c.X > 0.5 {
+			p++
+		}
+		if c.Y > 0.5 {
+			p += 2
+		}
+		parts[e] = p
+	}
+	avg, max := AdjacentSubdomains(g, parts, 4)
+	if avg < 2 || avg > 3 || max < 2 || max > 3 {
+		t.Errorf("2x2 blocks: avg=%v max=%v, want within [2,3]", avg, max)
+	}
+}
+
+func TestDisconnectedParts(t *testing.T) {
+	g := gridGraph(6)
+	// Contiguous halves: no disconnected part.
+	parts := make([]int32, g.N())
+	for v := g.N() / 2; v < g.N(); v++ {
+		parts[v] = 1
+	}
+	if n := DisconnectedParts(g, parts, 2); n != 0 {
+		t.Errorf("contiguous halves: %d disconnected", n)
+	}
+	// Scatter one part as two islands.
+	parts2 := make([]int32, g.N())
+	parts2[0] = 1
+	parts2[g.N()-1] = 1
+	if n := DisconnectedParts(g, parts2, 2); n != 1 {
+		t.Errorf("two islands: DisconnectedParts = %d, want 1", n)
+	}
+}

@@ -1,0 +1,93 @@
+package refine
+
+import "pared/internal/forest"
+
+// Coarsen performs conformal derefinement: a refined node whose two children
+// are leaves both approved by wantCoarsen is un-bisected, provided its
+// midpoint vertex is used by no other surviving leaf (so no hanging node can
+// appear). The pass cascades — un-bisection can expose new coarsenable
+// nodes — and returns the number of nodes un-bisected.
+//
+// The refiner must be at quiescence (Closure completed). It remains at
+// quiescence afterwards: the restored parents' edges are exactly former leaf
+// edges plus the parent's own refinement edge, whose split mark is removed
+// together with its last users.
+func (r *Refiner) Coarsen(wantCoarsen func(id forest.NodeID) bool) int {
+	total := 0
+	for {
+		removed := r.coarsenRound(wantCoarsen)
+		if removed == 0 {
+			return total
+		}
+		total += removed
+	}
+}
+
+func (r *Refiner) coarsenRound(wantCoarsen func(id forest.NodeID) bool) int {
+	f := r.F
+	// Collect candidate parents: both kids are approved leaves.
+	type group struct {
+		parents []forest.NodeID
+	}
+	groups := make(map[int32]*group) // midpoint local vertex -> group
+	f.VisitLeaves(func(id forest.NodeID) {
+		n := f.Node(id)
+		if n.Parent == forest.NoNode {
+			return
+		}
+		p := f.Node(n.Parent)
+		// Visit each parent once, via its first child.
+		if p.Kids[0] != id {
+			return
+		}
+		k1 := f.Node(p.Kids[1])
+		if !k1.IsLeaf() {
+			return
+		}
+		if !wantCoarsen(p.Kids[0]) || !wantCoarsen(p.Kids[1]) {
+			return
+		}
+		g := groups[p.MidV]
+		if g == nil {
+			g = &group{}
+			groups[p.MidV] = g
+		}
+		g.parents = append(g.parents, n.Parent)
+	})
+	if len(groups) == 0 {
+		return 0
+	}
+	// Count, among all leaves, the uses of each candidate midpoint vertex.
+	usage := make(map[int32]int, len(groups))
+	for m := range groups {
+		usage[m] = 0
+	}
+	f.VisitLeaves(func(id forest.NodeID) {
+		n := f.Node(id)
+		nv := n.Nv()
+		for i := 0; i < nv; i++ {
+			if _, ok := usage[n.Verts[i]]; ok {
+				usage[n.Verts[i]]++
+			}
+		}
+	})
+	// A midpoint is removable iff every leaf using it is a candidate child
+	// (each candidate parent contributes exactly two such leaves).
+	removed := 0
+	for m, g := range groups {
+		if usage[m] != 2*len(g.parents) {
+			continue
+		}
+		for _, pid := range g.parents {
+			p := f.Node(pid)
+			r.removeLeafEdges(p.Kids[0])
+			r.removeLeafEdges(p.Kids[1])
+			k := r.key(p.RefEdge[0], p.RefEdge[1])
+			f.Unbisect(pid)
+			delete(r.split, k)
+			r.addLeafEdges(pid)
+			removed++
+		}
+	}
+	return removed
+}

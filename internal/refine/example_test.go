@@ -1,0 +1,48 @@
+package refine_test
+
+import (
+	"fmt"
+
+	"pared/internal/forest"
+	"pared/internal/meshgen"
+	"pared/internal/refine"
+)
+
+// ExampleRefiner shows Rivara bisection with conformal propagation: refining
+// one triangle whose longest edge is shared forces its neighbor to split too.
+func ExampleRefiner() {
+	m := meshgen.RectTri(1, 1, 0, 0, 1, 1) // two triangles sharing the diagonal
+	f := forest.FromMesh(m)
+	r := refine.NewRefiner(f)
+
+	r.RefineLeaf(f.Root(0))
+	bisections := r.Closure()
+
+	fmt.Println("bisections:", bisections)
+	fmt.Println("leaves:", f.NumLeaves())
+	lm := f.LeafMesh().Mesh
+	fmt.Println("conforming:", lm.CheckConforming() == nil)
+	// Output:
+	// bisections: 2
+	// leaves: 4
+	// conforming: true
+}
+
+// ExampleRefiner_Coarsen refines uniformly and then coarsens everything back
+// to the initial mesh.
+func ExampleRefiner_Coarsen() {
+	m := meshgen.RectTri(2, 2, 0, 0, 1, 1)
+	f := forest.FromMesh(m)
+	r := refine.NewRefiner(f)
+	for _, id := range f.Leaves() {
+		r.RefineLeaf(id)
+	}
+	r.Closure()
+	fmt.Println("refined leaves:", f.NumLeaves())
+
+	r.Coarsen(func(forest.NodeID) bool { return true })
+	fmt.Println("after coarsening:", f.NumLeaves())
+	// Output:
+	// refined leaves: 16
+	// after coarsening: 8
+}

@@ -1,0 +1,77 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"pared/internal/forest"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+)
+
+// TestLEPPMatchesClosure cross-validates the two refinement engines: for the
+// same sequence of refinement targets, Rivara's recursive LEPP and the
+// mark-and-closure loop must produce the identical conforming mesh.
+func TestLEPPMatchesClosure(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *mesh.Mesh
+	}{
+		{"2d", func() *mesh.Mesh { return meshgen.RectTri(5, 5, -1, -1, 1, 1) }},
+		{"3d", func() *mesh.Mesh { return meshgen.BoxTet(2, 2, 2, -1, -1, -1, 1, 1, 1) }},
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 4; seed++ {
+			m := tc.mk()
+			fa := forest.FromMesh(m)
+			ra := NewRefiner(fa)
+			fb := forest.FromMesh(m)
+			rb := NewRefiner(fb)
+			rng := rand.New(rand.NewSource(seed))
+			for round := 0; round < 5; round++ {
+				// Pick targets by canonical leaf order so both forests refine
+				// "the same" elements.
+				leavesA := fa.Leaves()
+				leavesB := fb.Leaves()
+				if len(leavesA) != len(leavesB) {
+					t.Fatalf("%s seed %d round %d: leaf counts diverged (%d vs %d)",
+						tc.name, seed, round, len(leavesA), len(leavesB))
+				}
+				k := rng.Intn(len(leavesA))
+				ra.RefineLeaf(leavesA[k])
+				ra.Closure()
+				rb.RefineLeafLEPP(leavesB[k])
+				ca, cb := fa.CanonicalLeaves(), fb.CanonicalLeaves()
+				if len(ca) != len(cb) {
+					t.Fatalf("%s seed %d round %d: %d vs %d leaves", tc.name, seed, round, len(ca), len(cb))
+				}
+				for i := range ca {
+					if ca[i] != cb[i] {
+						t.Fatalf("%s seed %d round %d: leaf %d differs", tc.name, seed, round, i)
+					}
+				}
+				if err := rb.CheckInvariants(); err != nil {
+					t.Fatalf("%s seed %d: LEPP left bad state: %v", tc.name, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestLEPPConformity(t *testing.T) {
+	m := meshgen.RectTri(4, 4, 0, 0, 1, 1)
+	f := forest.FromMesh(m)
+	r := NewRefiner(f)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		leaves := f.Leaves()
+		r.RefineLeafLEPP(leaves[rng.Intn(len(leaves))])
+	}
+	lm := f.LeafMesh().Mesh
+	if err := lm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.CheckConforming(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pared/internal/forest"
+	"pared/internal/meshgen"
+)
+
+// TestPropertyRandomOpsKeepInvariants drives random interleavings of
+// refinement and coarsening and checks, after every closure: mesh validity,
+// conformity, volume conservation, refiner invariants, and leaf-count
+// bookkeeping.
+func TestPropertyRandomOpsKeepInvariants(t *testing.T) {
+	prop := func(seed int64, use3D bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var f *forest.Forest
+		if use3D {
+			f = forest.FromMesh(meshgen.BoxTet(2, 2, 2, 0, 0, 0, 1, 1, 1))
+		} else {
+			f = forest.FromMesh(meshgen.RectTri(4, 4, 0, 0, 1, 1))
+		}
+		vol := 1.0
+		r := NewRefiner(f)
+		for op := 0; op < 8; op++ {
+			if rng.Intn(3) < 2 {
+				leaves := f.Leaves()
+				for i := 0; i < 1+rng.Intn(4); i++ {
+					r.RefineLeaf(leaves[rng.Intn(len(leaves))])
+				}
+				r.Closure()
+			} else {
+				r.Coarsen(func(forest.NodeID) bool { return rng.Intn(2) == 0 })
+			}
+			lm := f.LeafMesh().Mesh
+			if lm.Validate() != nil || lm.CheckConforming() != nil {
+				return false
+			}
+			if math.Abs(lm.TotalVolume()-vol) > 1e-9 {
+				return false
+			}
+			if r.CheckInvariants() != nil {
+				return false
+			}
+			// Leaf bookkeeping: NumLeaves equals extracted element count and
+			// the per-root counts sum to it.
+			if lm.NumElems() != f.NumLeaves() {
+				return false
+			}
+			sum := 0
+			for _, root := range f.Roots() {
+				sum += f.LeafCount(root)
+			}
+			if sum != f.NumLeaves() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRefinementMonotone: refinement never removes existing vertices
+// and strictly increases element count.
+func TestPropertyRefinementMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := forest.FromMesh(meshgen.RectTri(3, 3, 0, 0, 1, 1))
+		r := NewRefiner(f)
+		prevLeaves := f.NumLeaves()
+		prevVerts := len(f.Coords)
+		for op := 0; op < 5; op++ {
+			leaves := f.Leaves()
+			r.RefineLeaf(leaves[rng.Intn(len(leaves))])
+			n := r.Closure()
+			if n == 0 {
+				return false // a requested refinement must bisect something
+			}
+			if f.NumLeaves() <= prevLeaves || len(f.Coords) <= prevVerts {
+				return false
+			}
+			prevLeaves, prevVerts = f.NumLeaves(), len(f.Coords)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
