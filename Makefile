@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover reproduce full-assert clean
+.PHONY: all build test race lint assert bench cover reproduce full-assert clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Project-specific static analysis (see internal/lint): map-iteration order
+# in deterministic packages, raw concurrency outside internal/par, float ==,
+# dropped errors, sleeps. Exits non-zero on findings.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/paredlint ./...
+
+# Run the test suite with the runtime invariant layer compiled in (mesh
+# conformity, weight bookkeeping, gain-table brute-force cross-checks,
+# collective-ordering detection — see internal/check).
+assert:
+	$(GO) test -tags paredassert ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

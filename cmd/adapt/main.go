@@ -40,7 +40,7 @@ func main() {
 		}
 		var rerr error
 		m0, rerr = mesh.ReadFrom(fh)
-		fh.Close()
+		_ = fh.Close()
 		if rerr != nil {
 			fatal(rerr)
 		}
@@ -77,7 +77,9 @@ func main() {
 		if err := leaf.Mesh.Write(fh); err != nil {
 			fatal(err)
 		}
-		fh.Close()
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *forestOut != "" {
 		fh, err := os.Create(*forestOut)
@@ -87,7 +89,9 @@ func main() {
 		if err := f.Write(fh); err != nil {
 			fatal(err)
 		}
-		fh.Close()
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

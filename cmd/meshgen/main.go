@@ -48,12 +48,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := m.Write(w); err != nil {
 		fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
 		os.Exit(1)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "meshgen: %dD mesh, %d vertices, %d elements\n", m.Dim, m.NumVerts(), m.NumElems())
 }

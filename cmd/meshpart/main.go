@@ -38,7 +38,7 @@ func main() {
 		fatal(err)
 	}
 	m, err := mesh.ReadFrom(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +79,9 @@ func main() {
 		if err := m.WriteSVG(out, parts, 900); err != nil {
 			fatal(err)
 		}
-		out.Close()
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *partsOut != "" {
 		out, err := os.Create(*partsOut)
@@ -89,7 +91,9 @@ func main() {
 		for _, pt := range parts {
 			fmt.Fprintln(out, pt)
 		}
-		out.Close()
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

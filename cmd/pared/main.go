@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
 	"pared/internal/core"
 	"pared/internal/fem"
@@ -75,16 +74,12 @@ func main() {
 	}
 
 	m0 := meshgen.RectTri(*grid, *grid, -1, -1, 1, 1)
-	var traceMu sync.Mutex
+	tracePrinter := par.NewPrinter(os.Stderr)
 	err := par.Run(*p, func(c *par.Comm) {
 		e := pared.Bootstrap(c, m0)
 		cfg := pared.Config{Repartition: repart, ImbalanceTrigger: *trigger}
 		if *traceOn {
-			cfg.Trace = func(s string) {
-				traceMu.Lock()
-				fmt.Fprintln(os.Stderr, s)
-				traceMu.Unlock()
-			}
+			cfg.Trace = tracePrinter.Println
 		}
 		e.SetConfig(cfg)
 		var totalMoved int64

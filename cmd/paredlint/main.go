@@ -1,0 +1,79 @@
+// Command paredlint runs the project's static-analysis suite (see
+// internal/lint) over the given packages and reports findings with file:line
+// positions, exiting non-zero if any are found.
+//
+// Usage:
+//
+//	paredlint [flags] [packages]
+//
+//	paredlint ./...                      # whole module (default)
+//	paredlint ./internal/core ./cmd/...  # explicit packages
+//	paredlint -floateq=false ./...       # disable one check
+//
+// Each check is individually toggleable:
+//
+//	-maporder   map iteration order in deterministic packages (default true)
+//	-rawconc    raw concurrency outside internal/par          (default true)
+//	-floateq    ==/!= on floats                               (default true)
+//	-errcheck   dropped error returns                         (default true)
+//	-sleep      time.Sleep as synchronization                 (default true)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pared/internal/lint"
+)
+
+func main() {
+	enabled := make(map[string]*bool)
+	for _, c := range lint.AllChecks() {
+		enabled[c.Name] = flag.Bool(c.Name, true, c.Doc)
+	}
+	flag.Parse()
+
+	var checks []*lint.Check
+	for _, c := range lint.AllChecks() {
+		if *enabled[c.Name] {
+			checks = append(checks, c)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(pkgs, checks)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "paredlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "paredlint: %v\n", err)
+	os.Exit(2)
+}

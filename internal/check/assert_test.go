@@ -1,0 +1,102 @@
+//go:build paredassert
+
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"pared/internal/geom"
+	"pared/internal/graph"
+	"pared/internal/mesh"
+)
+
+func expectPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a paredassert panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "paredassert: ") {
+			t.Fatalf("panic %v is not a paredassert failure", r)
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not mention %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestEnabledUnderTag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("check.Enabled must be true under the paredassert build tag")
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	Assertf(true, "must not fire")
+	expectPanic(t, "weight 3", func() { Assertf(false, "weight %d", 3) })
+}
+
+// twoTri is the unit square split along its diagonal.
+func twoTri() *mesh.Mesh {
+	return &mesh.Mesh{
+		Dim: mesh.D2,
+		Verts: []geom.Vec3{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1},
+		},
+		Elems: []mesh.Element{mesh.Tri(0, 1, 2), mesh.Tri(0, 2, 3)},
+	}
+}
+
+func TestMeshConformalAcceptsValidMesh(t *testing.T) {
+	MeshConformal(twoTri(), "test")
+}
+
+func TestMeshConformalTripsOnCorruptElement(t *testing.T) {
+	m := twoTri()
+	m.Elems[0].V[1] = m.Elems[0].V[0] // repeated vertex
+	expectPanic(t, "mesh invalid", func() { MeshConformal(m, "test") })
+}
+
+func TestMeshConformalTripsOnHangingNode(t *testing.T) {
+	m := twoTri()
+	// A vertex exactly at the midpoint of the shared diagonal, with the
+	// diagonal still unrefined, is a hanging node.
+	m.Verts = append(m.Verts, geom.Vec3{X: 0.5, Y: 0.5})
+	expectPanic(t, "not conforming", func() { MeshConformal(m, "test") })
+}
+
+// path4 is the path graph 0–1–2–3 with unit weights.
+func path4() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	return b.Build()
+}
+
+func TestPartitionWeightsAcceptsTruth(t *testing.T) {
+	g := path4()
+	parts := []int32{0, 0, 1, 1}
+	PartitionWeights(g, parts, 2, []int64{2, 2}, "test")
+}
+
+func TestPartitionWeightsTripsOnDrift(t *testing.T) {
+	g := path4()
+	parts := []int32{0, 0, 1, 1}
+	expectPanic(t, "bookkeeping drift", func() {
+		PartitionWeights(g, parts, 2, []int64{3, 1}, "test")
+	})
+}
+
+func TestPartitionWeightsTripsOnInvalidPart(t *testing.T) {
+	g := path4()
+	parts := []int32{0, 0, 1, 2}
+	expectPanic(t, "invalid part", func() {
+		PartitionWeights(g, parts, 2, []int64{2, 2}, "test")
+	})
+}

@@ -1,0 +1,14 @@
+//go:build !paredassert
+
+package check
+
+// Enabled reports whether runtime invariant checking is compiled in. Without
+// the paredassert tag it is constant false, so every guarded call site
+//
+//	if check.Enabled {
+//		check.MeshConformal(m, "engine.Adapt")
+//	}
+//
+// is dead code the compiler eliminates: the invariant layer costs nothing in
+// normal builds.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build paredassert
+
+package check
+
+// Enabled reports whether runtime invariant checking is compiled in. This
+// build includes the paredassert tag: assertions run.
+const Enabled = true

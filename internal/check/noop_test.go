@@ -1,0 +1,14 @@
+//go:build !paredassert
+
+package check
+
+import "testing"
+
+// TestDisabledByDefault pins the zero-cost contract: without the paredassert
+// build tag, Enabled is constant false, so every `if check.Enabled { … }`
+// call site in the engine is dead code the compiler eliminates.
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("check.Enabled must be false without the paredassert build tag")
+	}
+}

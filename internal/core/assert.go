@@ -1,0 +1,46 @@
+package core
+
+import "pared/internal/check"
+
+// assertSelectionFresh cross-checks a selectBest answer against brute force:
+// part weights are recomputed from scratch and the chosen move's gain is
+// re-derived by a direct neighbor scan, using the same floating-point
+// expression as gainTable.gain so agreement is exact (the external-weight
+// and weight terms are integers; the float combination is identical). A
+// mismatch means a stale queue entry survived refreshTop or the incremental
+// weight bookkeeping drifted. Call sites guard with check.Enabled.
+func (t *gainTable) assertSelectionFresh(v, to int32, gain float64) {
+	check.Assertf(v >= 0 && int(v) < t.g.N(), "core.gainTable: selected vertex %d out of range", v)
+	check.Assertf(!t.locked[v], "core.gainTable: selected locked vertex %d", v)
+	i := t.parts[v]
+	check.Assertf(i != to, "core.gainTable: selected no-op move of vertex %d within part %d", v, i)
+	freshW := make([]int64, t.p)
+	for u := 0; u < t.g.N(); u++ {
+		freshW[t.parts[u]] += t.g.VW[u]
+	}
+	var extI, extJ int64
+	adjacent := false
+	t.g.Neighbors(v, func(u int32, w int64) {
+		switch t.parts[u] {
+		case i:
+			extI += w
+		case to:
+			extJ += w
+			adjacent = true
+		}
+	})
+	check.Assertf(adjacent, "core.gainTable: selected move %d: %d->%d without an edge into the target part", v, i, to)
+	wv := t.g.VW[v]
+	gc := float64(extJ - extI)
+	gm := 0.0
+	if i == t.orig[v] {
+		gm -= t.cfg.Alpha * float64(wv)
+	}
+	if to == t.orig[v] {
+		gm += t.cfg.Alpha * float64(wv)
+	}
+	gb := 2 * t.cfg.Beta * float64(wv) * float64(freshW[i]-freshW[to]-wv)
+	fresh := gc + gm + gb
+	//paredlint:allow floateq -- exact identity: both sides evaluate the same expression on the same integer inputs
+	check.Assertf(fresh == gain, "core.gainTable: move %d: %d->%d carries gain %v, brute force recomputes %v", v, i, to, gain, fresh)
+}

@@ -1,0 +1,114 @@
+//go:build paredassert
+
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pared/internal/graph"
+)
+
+// These tests corrupt the gain table deliberately and require the
+// paredassert layer to catch it; they compile only under the tag.
+
+func gridGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n * n)
+	id := func(r, c int) int32 { return int32(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				b.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < n {
+				b.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func expectAssert(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a paredassert panic containing %q, got none", substr)
+		}
+		msg, _ := r.(string)
+		if !strings.HasPrefix(msg, "paredassert: ") || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not look like the expected assertion %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func halfSplit(n int) []int32 {
+	parts := make([]int32, n)
+	for v := range parts {
+		if v >= n/2 {
+			parts[v] = 1
+		}
+	}
+	return parts
+}
+
+// TestGainTableSelectionPassesBruteForce runs the assertion on an untampered
+// table: every selection must agree with the from-scratch recomputation.
+func TestGainTableSelectionPassesBruteForce(t *testing.T) {
+	g := gridGraph(6)
+	parts := halfSplit(g.N())
+	orig := append([]int32(nil), parts...)
+	cfg := Config{UseGainTable: true}.withDefaults()
+	// refineKLTable hits assertSelectionFresh and PartitionWeights on every
+	// move because this file only builds with check.Enabled == true.
+	refineKLTable(g, parts, orig, 2, cfg)
+}
+
+// TestGainTableCorruptedEntryTrips plants a wrong gain in a queue top and
+// verifies the brute-force cross-check rejects the resulting selection.
+func TestGainTableCorruptedEntryTrips(t *testing.T) {
+	g := gridGraph(4)
+	parts := halfSplit(g.N())
+	orig := append([]int32(nil), parts...)
+	cfg := Config{UseGainTable: true}.withDefaults()
+	tab := newGainTable(g, parts, orig, 2, cfg)
+	corrupted := false
+	for i := range tab.queues {
+		if len(tab.queues[i]) > 0 {
+			tab.queues[i][0].gain += 1000 // stale/corrupt cached gain
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no queued moves to corrupt")
+	}
+	v, to, gain := tab.selectBest()
+	expectAssert(t, "brute force", func() { tab.assertSelectionFresh(v, to, gain) })
+}
+
+// TestGainTableWeightDriftTrips corrupts the incremental part-weight
+// bookkeeping and verifies the brute-force cross-check (which recomputes
+// part weights from scratch) rejects any selection whose balance term was
+// derived from the drifted weights.
+func TestGainTableWeightDriftTrips(t *testing.T) {
+	g := gridGraph(4)
+	parts := halfSplit(g.N())
+	orig := append([]int32(nil), parts...)
+	cfg := Config{UseGainTable: true}.withDefaults()
+	tab := newGainTable(g, parts, orig, 2, cfg)
+	tab.partW[0] += 7 // simulated drift
+	for i := range tab.epochs {
+		tab.epochs[i]++ // force refreshTop to recompute gains from the drifted weights
+	}
+	v, to, gain := tab.selectBest()
+	if v < 0 {
+		t.Fatal("expected a candidate move")
+	}
+	// The tampered weight feeds the balance term of the refreshed selection,
+	// so the brute-force recomputation (which rebuilds weights from scratch)
+	// must disagree.
+	expectAssert(t, "brute force", func() { tab.assertSelectionFresh(v, to, gain) })
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"pared/internal/graph"
+	"pared/internal/mesh"
+	"pared/internal/meshgen"
+	"testing"
+)
+
+// Determinism is a correctness property here, not a nicety: the paper's
+// tables only reproduce if PNR emits byte-identical partition vectors run to
+// run (see also the maporder lint check, which guards the code paths these
+// tests pin down).
+
+func dualOfRect(nx, ny int) (*graph.Graph, *mesh.Mesh) {
+	m := meshgen.RectTri(nx, ny, -1, -1, 1, 1)
+	return graph.FromDual(m), m
+}
+
+func samePartition(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPartitionByteIdenticalAcrossRuns(t *testing.T) {
+	g, _ := dualOfRect(24, 24)
+	for _, cfg := range []Config{
+		{Seed: 7},
+		{Seed: 7, UseGainTable: true},
+	} {
+		first := Partition(g, 8, cfg)
+		for run := 0; run < 3; run++ {
+			again := Partition(g, 8, cfg)
+			if !samePartition(first, again) {
+				t.Fatalf("Partition (gain table %v) differs between identical runs", cfg.UseGainTable)
+			}
+		}
+	}
+}
+
+func TestRepartitionByteIdenticalAcrossRuns(t *testing.T) {
+	g, _ := dualOfRect(24, 24)
+	old := Partition(g, 8, Config{Seed: 3})
+	// Perturb vertex weights the way adaptation does (some elements refined
+	// more than others) so the repartition has real work to do.
+	b := graph.NewBuilder(g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		w := int64(1 + int(v)%5)
+		b.SetVW(v, w)
+		g.Neighbors(v, func(u int32, ew int64) {
+			if u > v {
+				b.AddEdge(v, u, ew)
+			}
+		})
+	}
+	gw := b.Build()
+	for _, cfg := range []Config{
+		{Seed: 3},
+		{Seed: 3, UseGainTable: true},
+	} {
+		first := Repartition(gw, old, 8, cfg)
+		for run := 0; run < 3; run++ {
+			again := Repartition(gw, old, 8, cfg)
+			if !samePartition(first, again) {
+				t.Fatalf("Repartition (gain table %v) differs between identical runs", cfg.UseGainTable)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 
+	"pared/internal/check"
 	"pared/internal/graph"
 )
 
@@ -31,8 +32,11 @@ type pairQueue []tableEntry
 
 func (q pairQueue) Len() int { return len(q) }
 func (q pairQueue) Less(a, b int) bool {
-	if q[a].gain != q[b].gain {
-		return q[a].gain > q[b].gain
+	if q[a].gain > q[b].gain {
+		return true
+	}
+	if q[a].gain < q[b].gain {
+		return false
 	}
 	return q[a].v < q[b].v
 }
@@ -180,7 +184,9 @@ func (t *gainTable) selectBest() (v, to int32, gain float64) {
 				continue
 			}
 			top := q[0]
-			if v < 0 || top.gain > gain || (top.gain == gain && top.v < v) {
+			// ">= && v<" realizes the equal-gain tie-break without a float ==:
+			// the > clause has already failed when it is evaluated.
+			if v < 0 || top.gain > gain || (top.gain >= gain && top.v < v) {
 				v, to, gain = top.v, int32(j), top.gain
 			}
 		}
@@ -232,8 +238,14 @@ func refineKLTable(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
 			if v < 0 {
 				break
 			}
+			if check.Enabled {
+				t.assertSelectionFresh(v, to, gain)
+			}
 			from := parts[v]
 			t.apply(v, to)
+			if check.Enabled {
+				check.PartitionWeights(t.g, t.parts, t.p, t.partW, "core.refineKLTable")
+			}
 			cumGain += gain
 			moves = append(moves, move{v, from})
 			if cumGain > bestGain+1e-9 {

@@ -1,6 +1,9 @@
 package core
 
-import "pared/internal/graph"
+import (
+	"pared/internal/check"
+	"pared/internal/graph"
+)
 
 // refineKL runs PNR's Kernighan–Lin variant: passes of best-gain boundary
 // moves under the 3-term gain
@@ -124,7 +127,9 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 						if !hardBalance {
 							gain += 2 * cfg.Beta * float64(wv) * float64(partW[i]-partW[j]-wv)
 						}
-						if selV < 0 || gain > selGain || (gain == selGain && v < selV) {
+						// ">= && v<" is the equal-gain tie-break without a
+						// float ==: the > clause has already failed here.
+						if selV < 0 || gain > selGain || (gain >= selGain && v < selV) {
 							selV, selTo, selGain = v, j, gain
 						}
 					}
@@ -141,6 +146,9 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 			partW[from] -= g.VW[selV]
 			partW[selTo] += g.VW[selV]
 			locked[selV] = true
+			if check.Enabled {
+				check.PartitionWeights(g, parts, p, partW, "core.runKL")
+			}
 			cumGain += selGain
 			moves = append(moves, move{selV, from})
 			g.Neighbors(selV, func(u int32, _ int64) {

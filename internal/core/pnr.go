@@ -66,13 +66,13 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Alpha == 0 {
+	if c.Alpha <= 0 {
 		c.Alpha = 0.1
 	}
-	if c.Beta == 0 {
+	if c.Beta <= 0 {
 		c.Beta = 0.8
 	}
-	if c.Eps == 0 {
+	if c.Eps <= 0 {
 		c.Eps = 0.01
 	}
 	if c.Seed == 0 {

@@ -9,13 +9,17 @@ import (
 
 // WriteCSV saves a table as CSV (for external plotting of the Figure 7/8
 // series). The filename is derived from name inside dir.
-func (t *Table) WriteCSV(dir, name string) error {
+func (t *Table) WriteCSV(dir, name string) (err error) {
 	path := filepath.Join(dir, name+".csv")
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := csv.NewWriter(f)
 	if err := w.Write(t.Header); err != nil {
 		return err
@@ -26,10 +30,7 @@ func (t *Table) WriteCSV(dir, name string) error {
 		}
 	}
 	w.Flush()
-	if err := w.Error(); err != nil {
-		return err
-	}
-	return nil
+	return w.Error()
 }
 
 // WriteAllCSV saves the transient figures as CSV files in dir.

@@ -62,7 +62,7 @@ func Fig1(w io.Writer, scale Scale, svgDir string) {
 			path := filepath.Join(svgDir, "fig1_2d_adapted.svg")
 			if f, err := os.Create(path); err == nil {
 				_ = last.Leaf.Mesh.WriteSVG(f, nil, 900)
-				f.Close()
+				_ = f.Close()
 				fmt.Fprintf(w, "wrote %s\n", path)
 			}
 		}

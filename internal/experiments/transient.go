@@ -168,7 +168,7 @@ func Transient(w io.Writer, cfg TransientConfig) *TransientResult {
 			path := filepath.Join(cfg.SVGDir, fmt.Sprintf("fig6_t%+.2f.svg", tt))
 			if fh, err := os.Create(path); err == nil {
 				_ = cur.Leaf.Mesh.WriteSVG(fh, nil, 800)
-				fh.Close()
+				_ = fh.Close()
 				fmt.Fprintf(w, "wrote %s\n", path)
 			}
 		}

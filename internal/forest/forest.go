@@ -417,7 +417,9 @@ func (f *Forest) LongestEdge(id NodeID) (a, b int32) {
 				ka, kb = kb, ka
 				va, vb = vb, va
 			}
-			if l > bestLen || (l == bestLen && (ka < bestKA || (ka == bestKA && kb < bestKB))) {
+			// ">= && less" realizes the equal-length tie-break without a
+			// float ==: the > clause has already failed when it is evaluated.
+			if l > bestLen || (l >= bestLen && (ka < bestKA || (ka == bestKA && kb < bestKB))) {
 				bestLen, bestA, bestB, bestKA, bestKB = l, va, vb, ka, kb
 			}
 		}

@@ -20,6 +20,7 @@ func CG(a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
 	d := a.Diag()
 	inv := make([]float64, n)
 	for i, v := range d {
+		//paredlint:allow floateq -- exact zero-diagonal guard before forming 1/v
 		if v != 0 {
 			inv[i] = 1 / v
 		} else {
@@ -39,6 +40,7 @@ func CG(a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
 	ap := make([]float64, n)
 	rz := Dot(r, z)
 	bnorm := Norm2(b)
+	//paredlint:allow floateq -- exact zero-rhs guard; any epsilon would rescale the stopping test
 	if bnorm == 0 {
 		bnorm = 1
 	}

@@ -47,6 +47,7 @@ func SymTriEig(d, e []float64) (vals []float64, vecs [][]float64) {
 				b := c * sub[i]
 				r = math.Hypot(f, g)
 				sub[i+1] = r
+				//paredlint:allow floateq -- QL underflow guard; exact zero per Numerical Recipes tql2
 				if r == 0 {
 					vals[i+1] -= p
 					sub[m] = 0
@@ -65,6 +66,7 @@ func SymTriEig(d, e []float64) (vals []float64, vecs [][]float64) {
 					z[k][i] = c*z[k][i] - s*f
 				}
 			}
+			//paredlint:allow floateq -- QL underflow guard; exact zero per Numerical Recipes tql2
 			if r == 0 && m-1 >= l {
 				continue
 			}
@@ -146,6 +148,7 @@ func Fiedler(lap *CSR, tol float64, maxIter int, seed int64) []float64 {
 	}
 	deflate(v)
 	nv := Norm2(v)
+	//paredlint:allow floateq -- exact zero-vector guard before normalization
 	if nv == 0 {
 		v[0] = 1
 		deflate(v)

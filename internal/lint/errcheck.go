@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags call statements that silently drop an error result. Explicit
+// discards (`_ = f()`) pass; a small whitelist covers calls whose error is
+// documented never to occur (fmt printing, strings.Builder / bytes.Buffer
+// writes).
+var ErrCheck = &Check{
+	Name: "errcheck",
+	Doc:  "dropped error return value",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !p.returnsError(call) || p.errWhitelisted(call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s returns an error that is dropped: handle it or discard explicitly with _ =", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result includes an error value.
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error" && types.IsInterface(t)
+}
+
+// errWhitelisted exempts calls whose error return is vestigial.
+func (p *Pass) errWhitelisted(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print* / fmt.Fprint* — terminal output; failure is unreportable.
+	if id, ok := sel.X.(*ast.Ident); ok && p.PkgNameOf(id) == "fmt" {
+		name := sel.Sel.Name
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return true
+		}
+	}
+	// In-memory writers whose Write* methods never return a non-nil error.
+	if s, ok := p.Info.Selections[sel]; ok && strings.HasPrefix(sel.Sel.Name, "Write") {
+		recv := s.Recv().String()
+		if strings.Contains(recv, "strings.Builder") || strings.Contains(recv, "bytes.Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders the called function for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

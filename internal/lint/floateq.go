@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Weights, gains,
+// and imbalance ratios are float64; exact comparison on them is either a
+// latent tie-break nondeterminism or a rounding bug. The NaN idiom `x != x`
+// is permitted; everything else needs an epsilon, a restructured ordering
+// comparison, or an explicit //paredlint:allow floateq.
+var FloatEq = &Check{
+	Name: "floateq",
+	Doc:  "==/!= on floating-point operands",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !p.isFloat(be.X) && !p.isFloat(be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x: the portable NaN test
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison: use an epsilon or restructure with </>", be.Op)
+			return true
+		})
+	}
+}
+
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are syntactically identical simple
+// references (an identifier or selector chain).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+// Package lint implements paredlint, the project's static-analysis suite.
+//
+// PNR's correctness story — the §8 migration lower bound, the Table 2/3 cut
+// and balance numbers — only reproduces if the pipeline is deterministic and
+// all inter-rank communication flows through internal/par. Go silently loses
+// both properties through unordered map iteration, float ==, ad-hoc
+// goroutines, and dropped errors. paredlint machine-checks the project rules:
+//
+//	maporder — no order-sensitive iteration over maps in the deterministic
+//	           packages (internal/core, internal/graph, internal/partition,
+//	           internal/pared)
+//	rawconc  — no go statements, channel construction, or sync primitives
+//	           outside internal/par (ownership discipline: ranks communicate
+//	           only via par.Comm)
+//	floateq  — no ==/!= on floating-point operands in non-test code
+//	errcheck — no silently dropped error return values
+//	sleep    — no time.Sleep used as synchronization in library code
+//
+// The analyzer is stdlib-only (go/parser, go/ast, go/types); see
+// cmd/paredlint for the command-line driver.
+//
+// Intentional violations are suppressed with a directive comment on the
+// offending line or the line above it:
+//
+//	//paredlint:allow maporder -- iteration order provably irrelevant
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+}
+
+// Check is one analyzer. Run inspects a single package and reports findings
+// through the pass.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// AllChecks lists every check in the suite, in reporting order.
+func AllChecks() []*Check {
+	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep}
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("pared/internal/core"). Packages loaded from a
+	// testdata directory keep their on-disk pseudo path and are treated as
+	// in-scope by every check.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allows maps filename → line → check names suppressed on that line.
+	allows map[string]map[int][]string
+}
+
+// InTestdata reports whether the package was loaded from a testdata tree
+// (analyzer fixtures); such packages are in scope for every check so the
+// fixtures exercise path-restricted checks too.
+func (p *Package) InTestdata() bool {
+	return strings.Contains(p.Path, "testdata") || strings.Contains(p.Dir, "testdata")
+}
+
+// InScope reports whether the package path falls under any of the given
+// import-path prefixes.
+func (p *Package) InScope(prefixes ...string) bool {
+	if p.InTestdata() {
+		return true
+	}
+	for _, pre := range prefixes {
+		if p.Path == pre || strings.HasPrefix(p.Path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveRE matches "//paredlint:allow check1,check2 [-- reason]".
+var directiveRE = regexp.MustCompile(`^//\s*paredlint:allow\s+([a-z, ]+?)\s*(?:--.*)?$`)
+
+// buildAllows scans file comments for paredlint:allow directives.
+func (p *Package) buildAllows() {
+	p.allows = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.allows[pos.Filename] = byLine
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name != "" {
+						byLine[pos.Line] = append(byLine[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether check name is suppressed at pos (directive on the
+// same line or the line immediately above).
+func (p *Package) allowed(name string, pos token.Position) bool {
+	byLine := p.allows[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, n := range byLine[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pass is the per-(check, package) reporting context.
+type Pass struct {
+	*Package
+	check *Check
+	out   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(p.check.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:   position,
+		Check: p.check.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// PkgNameOf resolves an identifier used as a package qualifier to its import
+// path ("" if the identifier is not a package name).
+func (p *Pass) PkgNameOf(id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// IsPkgCall reports whether call invokes pkgPath.name (a package-level
+// function accessed through a selector).
+func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && p.PkgNameOf(id) == pkgPath
+}
+
+// Run executes the given checks over the packages and returns all findings
+// sorted by position.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.allows == nil {
+			pkg.buildAllows()
+		}
+		for _, c := range checks {
+			c.Run(&Pass{Package: pkg, check: c, out: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// commPkg is the only package allowed to use raw Go concurrency: ranks are
+// its goroutines, inboxes are its channels. Everywhere else, inter-rank
+// interaction must go through par.Comm so the per-rank ownership discipline
+// (and the collective-ordering contract) stays checkable.
+const commPkg = "pared/internal/par"
+
+// RawConc flags go statements, channel construction, and sync/sync-atomic
+// usage outside internal/par.
+var RawConc = &Check{
+	Name: "rawconc",
+	Doc:  "raw concurrency primitive outside internal/par",
+	Run:  runRawConc,
+}
+
+func runRawConc(p *Pass) {
+	if p.Path == commPkg {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Go, "go statement outside %s: rank parallelism must go through par.Run", commPkg)
+			case *ast.CallExpr:
+				if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "make" {
+					if t := p.TypeOf(n); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							p.Reportf(n.Pos(), "channel construction outside %s: communicate through par.Comm", commPkg)
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					switch p.PkgNameOf(id) {
+					case "sync", "sync/atomic":
+						p.Reportf(n.Pos(), "sync primitive %s.%s outside %s: use par.Comm collectives for coordination",
+							id.Name, n.Sel.Name, commPkg)
+					}
+				}
+			case *ast.SendStmt:
+				p.Reportf(n.Arrow, "channel send outside %s", commPkg)
+			case *ast.SelectStmt:
+				p.Reportf(n.Select, "select statement outside %s", commPkg)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "go/ast"
+
+// Sleep flags time.Sleep in library code. A sleep in a message-passing
+// runtime is always a disguised synchronization bug: the engine must wait on
+// collectives or channels owned by internal/par, never on wall-clock time.
+var Sleep = &Check{
+	Name: "sleep",
+	Doc:  "time.Sleep used as synchronization",
+	Run:  runSleep,
+}
+
+func runSleep(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.IsPkgCall(call, "time", "Sleep") {
+				p.Reportf(call.Pos(), "time.Sleep in library code: synchronize through par.Comm instead of wall-clock waits")
+			}
+			return true
+		})
+	}
+}

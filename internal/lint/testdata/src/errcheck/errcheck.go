@@ -1,0 +1,45 @@
+// Package errcheck is a paredlint fixture for the errcheck check: call
+// statements that silently drop an error result.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pairResult() (int, error) { return 0, nil }
+
+func dropped() {
+	mayFail()          // want "mayFail returns an error that is dropped"
+	pairResult()       // want "pairResult returns an error that is dropped"
+	defer mayFail()    // want "mayFail returns an error that is dropped"
+	_ = mayFail()      // explicit discard: no finding
+	n, _ := pairResult()
+	_ = n
+}
+
+func closers(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	f.Close() // want "f.Close returns an error that is dropped"
+	_ = f.Close()
+}
+
+func whitelisted() {
+	fmt.Println("terminal output")   // no finding: fmt printing
+	fmt.Fprintf(os.Stderr, "x")      // no finding: fmt printing
+	var sb strings.Builder
+	sb.WriteString("in-memory")      // no finding: Builder writes cannot fail
+	_ = sb.String()
+}
+
+// suppressed carries an explicit directive and must not be reported.
+func suppressed() {
+	//paredlint:allow errcheck -- fixture: best-effort call
+	mayFail()
+}

@@ -1,0 +1,35 @@
+// Package floateq is a paredlint fixture for the floateq check: == and !=
+// with floating-point operands.
+package floateq
+
+func compare(a, b float64, i, j int) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != b { // want "floating-point != comparison"
+		return false
+	}
+	if float32(i) == float32(j) { // want "floating-point == comparison"
+		return true
+	}
+	return i == j // integers compare exactly: no finding
+}
+
+// isNaN uses the portable self-comparison idiom, which is permitted.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// mixed promotes the untyped constant to float64.
+func mixed(x float64) bool {
+	return x == 0 // want "floating-point == comparison"
+}
+
+// guarded carries an explicit directive and must not be reported.
+func guarded(total float64) float64 {
+	//paredlint:allow floateq -- fixture: exact zero guard before division
+	if total == 0 {
+		return 0
+	}
+	return 1 / total
+}

@@ -1,0 +1,37 @@
+// Package rawconc is a paredlint fixture for the rawconc check: raw Go
+// concurrency outside internal/par.
+package rawconc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawn(f func()) {
+	go f() // want "go statement outside"
+}
+
+func channels() {
+	ch := make(chan int, 1) // want "channel construction outside"
+	ch <- 1                 // want "channel send outside"
+	select {                // want "select statement outside"
+	case <-ch:
+	default:
+	}
+}
+
+func primitives() {
+	var mu sync.Mutex // want "sync primitive sync.Mutex outside"
+	mu.Lock()         // not flagged: the selector base is mu, not the sync package
+	mu.Unlock()
+	var n int64
+	atomic.AddInt64(&n, 1) // want "sync primitive atomic.AddInt64 outside"
+	_ = n
+}
+
+// mapsAndSlicesAreFine must produce no findings.
+func mapsAndSlicesAreFine() {
+	m := make(map[int]int)
+	s := make([]int, 4)
+	m[0] = s[0]
+}

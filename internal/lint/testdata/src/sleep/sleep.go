@@ -1,0 +1,21 @@
+// Package sleep is a paredlint fixture for the sleep check: time.Sleep used
+// as synchronization.
+package sleep
+
+import "time"
+
+func wait() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in library code"
+}
+
+// clocks reads time without sleeping: no findings.
+func clocks() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// suppressed carries an explicit directive and must not be reported.
+func suppressed() {
+	//paredlint:allow sleep -- fixture: deliberate pacing
+	time.Sleep(time.Millisecond)
+}

@@ -287,7 +287,9 @@ func (m *Mesh) LongestEdge(e int) (k int, len2 float64) {
 	for i := 0; i < ne; i++ {
 		key := m.Edge(e, i)
 		l := m.Verts[key.A].Dist2(m.Verts[key.B])
-		if l > bestLen || (l == bestLen && edgeKeyLess(key, bestKey)) {
+		// ">= && less" realizes the equal-length tie-break without a float ==:
+		// the > clause has already failed when it is evaluated.
+		if l > bestLen || (l >= bestLen && edgeKeyLess(key, bestKey)) {
 			best, bestLen, bestKey = i, l, key
 		}
 	}
@@ -415,6 +417,7 @@ func (m *Mesh) Contains(e int, p geom.Vec3) bool {
 	if m.Dim == D2 {
 		a, b, c := m.Verts[el.V[0]], m.Verts[el.V[1]], m.Verts[el.V[2]]
 		total := geom.TriangleAreaSigned(a, b, c)
+		//paredlint:allow floateq -- degenerate-element guard before barycentric division
 		if total == 0 {
 			return false
 		}
@@ -425,6 +428,7 @@ func (m *Mesh) Contains(e int, p geom.Vec3) bool {
 	}
 	a, b, c, d := m.Verts[el.V[0]], m.Verts[el.V[1]], m.Verts[el.V[2]], m.Verts[el.V[3]]
 	total := geom.TetVolumeSigned(a, b, c, d)
+	//paredlint:allow floateq -- degenerate-element guard before barycentric division
 	if total == 0 {
 		return false
 	}

@@ -10,6 +10,8 @@ package par
 import (
 	"fmt"
 	"sync"
+
+	"pared/internal/check"
 )
 
 // Tag distinguishes message streams between the same pair of ranks.
@@ -81,13 +83,34 @@ func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			return m.data, m.src
 		}
+		if check.Enabled {
+			c.assertSameCollective(m, tag, seq)
+		}
 	}
 	for {
 		m := <-c.world.boxes[c.rank]
 		if match(m) {
 			return m.data, m.src
 		}
+		if check.Enabled {
+			c.assertSameCollective(m, tag, seq)
+		}
 		c.pending = append(c.pending, m)
+	}
+}
+
+// assertSameCollective panics when a message for the collective sequence
+// number currently being received carries a different collective tag: some
+// rank entered a different collective at this step. Every tag a rank can
+// legitimately receive at a given sequence number is determined by the
+// collective and the rank's role in it, so a same-seq tag mismatch always
+// means the MPI-style ordering contract was broken — which would otherwise
+// surface as a silent deadlock. Called only under check.Enabled.
+func (c *Comm) assertSameCollective(m message, tag Tag, seq int64) {
+	if seq != 0 && m.seq == seq && m.tag != tag {
+		panic(fmt.Sprintf(
+			"paredassert: par: collective mismatch at seq %d: rank %d is receiving tag %d but rank %d sent tag %d — every rank must call collectives in the same order",
+			seq, c.rank, tag, m.src, m.tag))
 	}
 }
 

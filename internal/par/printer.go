@@ -1,0 +1,27 @@
+package par
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Printer serializes line output from concurrently running ranks. Trace and
+// diagnostic callbacks run on every rank's goroutine at once; writing through
+// a Printer keeps lines whole. It lives here because par owns the process's
+// concurrency primitives — user code coordinates through Comm or Printer, not
+// raw sync.
+type Printer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewPrinter returns a Printer writing lines to w.
+func NewPrinter(w io.Writer) *Printer { return &Printer{w: w} }
+
+// Println writes one line atomically with respect to other Println calls.
+func (p *Printer) Println(s string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintln(p.w, s)
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pared/internal/check"
 	"pared/internal/core"
 	"pared/internal/forest"
 	"pared/internal/graph"
@@ -54,7 +55,7 @@ func (c Config) withDefaults(p int) Config {
 			return core.Repartition(g, old, np, core.Config{})
 		}
 	}
-	if c.ImbalanceTrigger == 0 {
+	if c.ImbalanceTrigger <= 0 {
 		c.ImbalanceTrigger = 0.05
 	}
 	return c
@@ -182,6 +183,16 @@ func (e *Engine) eachLeafFacet(fn func(f gfacet, root int32)) {
 	_ = dim
 }
 
+// lessGFacet orders facets lexicographically by global vertex IDs.
+func lessGFacet(a, b gfacet) bool {
+	for k := 0; k < 3; k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
 func sortGFacet(f *gfacet) {
 	if f[0] > f[1] {
 		f[0], f[1] = f[1], f[0]
@@ -250,8 +261,21 @@ func (e *Engine) Adapt(est refine.Estimator, refineTol, coarsenTol float64, maxL
 				}
 			}
 		}
-		applied := 0
+		// Apply pending remote splits in sorted order: MarkSplitByID mutates
+		// the refiner, so map-order iteration would make the refinement
+		// history (and thus vertex numbering) run-dependent.
+		pend := make([]refine.EdgeSplit, 0, len(e.pending))
 		for s := range e.pending {
+			pend = append(pend, s)
+		}
+		sort.Slice(pend, func(i, j int) bool {
+			if pend[i].A != pend[j].A {
+				return pend[i].A < pend[j].A
+			}
+			return pend[i].B < pend[j].B
+		})
+		applied := 0
+		for _, s := range pend {
 			if e.R.MarkSplitByID(s) {
 				applied++
 				delete(e.pending, s)
@@ -279,6 +303,11 @@ func (e *Engine) Adapt(est refine.Estimator, refineTol, coarsenTol float64, maxL
 		})
 	}
 	st.GlobalLeaves = e.Comm.AllReduceSum(int64(e.F.NumLeaves()))
+	if check.Enabled && e.F.NumLeaves() > 0 {
+		// The distributed fixed point must leave every rank's leaf mesh
+		// conformal — this is the property the split-exchange loop exists for.
+		check.MeshConformal(e.F.LeafMesh().Mesh, "pared.Engine.Adapt")
+	}
 	e.trace("P0 adapt: %d rounds, +%d/-%d local elements, %d global leaves",
 		st.Rounds, st.LocalRefined, st.LocalCoarsened, st.GlobalLeaves)
 	return st
@@ -290,6 +319,7 @@ func (e *Engine) Imbalance() float64 {
 	maxL := e.Comm.AllReduceMax(local)
 	total := e.Comm.AllReduceSum(local)
 	avg := float64(total) / float64(e.Comm.Size())
+	//paredlint:allow floateq -- empty-mesh guard before division
 	if avg == 0 {
 		return 0
 	}
@@ -372,6 +402,9 @@ func (e *Engine) Rebalance(force bool) RebalanceStats {
 	st.MovedTrees = e.Comm.AllReduceSum(moved)
 	st.MovedElements = e.Comm.AllReduceSum(movedElems)
 	e.Owner = newOwner
+	if check.Enabled && e.F.NumLeaves() > 0 {
+		check.MeshConformal(e.F.LeafMesh().Mesh, "pared.Engine.Rebalance")
+	}
 	st.Imbalance = e.Imbalance()
 	e.trace("P3 repartition+migrate: cut %d->%d, sent %d trees (%d elements) in %v+%v, imbalance %.4f",
 		st.CutBefore, st.CutAfter, moved, movedElems, d3, dm, st.Imbalance)
@@ -404,9 +437,16 @@ func (e *Engine) localWeights() weightReport {
 		}
 		first[f] = root
 	})
-	for f, root := range first {
+	// Emit the boundary list in sorted facet order so the P2 payloads (and
+	// any trace of them) are byte-identical across runs.
+	bkeys := make([]gfacet, 0, len(first))
+	for f := range first {
+		bkeys = append(bkeys, f)
+	}
+	sort.Slice(bkeys, func(i, j int) bool { return lessGFacet(bkeys[i], bkeys[j]) })
+	for _, f := range bkeys {
 		boundary.Facets = append(boundary.Facets, f)
-		boundary.Roots = append(boundary.Roots, root)
+		boundary.Roots = append(boundary.Roots, first[f])
 	}
 	// Pairwise exchange: every rank sends its boundary list to all higher
 	// ranks; the higher rank matches and owns the mixed pair counts.

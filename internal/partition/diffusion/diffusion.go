@@ -15,6 +15,8 @@
 package diffusion
 
 import (
+	"sort"
+
 	"pared/internal/graph"
 	"pared/internal/la"
 	"pared/internal/partition"
@@ -32,7 +34,7 @@ func (c Config) withDefaults() Config {
 	if c.Rounds == 0 {
 		c.Rounds = 8
 	}
-	if c.Eps == 0 {
+	if c.Eps <= 0 {
 		c.Eps = 0.02
 	}
 	return c
@@ -141,8 +143,15 @@ func migrateFlow(g *graph.Graph, parts []int32, p int, flow [][]float64) bool {
 					internal += ew
 				}
 			})
-			for j, ext := range gainTo {
-				gain := ext - internal
+			// Consider destinations in sorted order: on equal gain the
+			// smallest part wins, keeping the move sequence deterministic.
+			dests := make([]int32, 0, len(gainTo))
+			for j := range gainTo {
+				dests = append(dests, j)
+			}
+			sort.Slice(dests, func(a, b int) bool { return dests[a] < dests[b] })
+			for _, j := range dests {
+				gain := gainTo[j] - internal
 				if selV < 0 || gain > selGain || (gain == selGain && v < selV) {
 					selV, selTo, selGain = v, j, gain
 				}

@@ -103,6 +103,7 @@ func splitDirection(coords []geom.Vec3, verts []int32, method Method) geom.Vec3 
 		}
 	}
 	ev := principalAxis(m)
+	//paredlint:allow floateq -- exact zero-vector guard before normalization
 	if ev.Norm() == 0 {
 		return geom.Vec3{X: 1}
 	}
@@ -160,8 +161,11 @@ func medianSplit(g *graph.Graph, coords []geom.Vec3, verts []int32, dir geom.Vec
 	order := append([]int32(nil), verts...)
 	sort.Slice(order, func(i, j int) bool {
 		a, b := coords[order[i]].Dot(dir), coords[order[j]].Dot(dir)
-		if a != b {
-			return a < b
+		if a < b {
+			return true
+		}
+		if b < a {
+			return false
 		}
 		return order[i] < order[j]
 	})

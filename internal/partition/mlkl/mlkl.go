@@ -33,7 +33,7 @@ func (c Config) withDefaults() Config {
 	if c.FMPasses == 0 {
 		c.FMPasses = 6
 	}
-	if c.Eps == 0 {
+	if c.Eps <= 0 {
 		c.Eps = 0.02
 	}
 	return c

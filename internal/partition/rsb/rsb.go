@@ -45,10 +45,10 @@ func (c Config) withDefaults() Config {
 	if c.SmoothSteps == 0 {
 		c.SmoothSteps = 12
 	}
-	if c.LanczosTol == 0 {
+	if c.LanczosTol <= 0 {
 		c.LanczosTol = 1e-6
 	}
-	if c.Eps == 0 {
+	if c.Eps <= 0 {
 		c.Eps = 0.02
 	}
 	return c
@@ -105,6 +105,7 @@ func smooth(g *graph.Graph, x []float64, steps int) {
 		var d int64
 		g.Neighbors(v, func(_ int32, w int64) { d += w })
 		deg[v] = float64(d)
+		//paredlint:allow floateq -- isolated-vertex guard; exact zero degree sum
 		if deg[v] == 0 {
 			deg[v] = 1
 		}
@@ -146,8 +147,11 @@ func medianSplit(g *graph.Graph, x []float64, target0 int64) []int32 {
 		order[i] = int32(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
-		if x[order[i]] != x[order[j]] {
-			return x[order[i]] < x[order[j]]
+		if x[order[i]] < x[order[j]] {
+			return true
+		}
+		if x[order[j]] < x[order[i]] {
+			return false
 		}
 		return order[i] < order[j]
 	})

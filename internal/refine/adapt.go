@@ -1,6 +1,9 @@
 package refine
 
-import "pared/internal/forest"
+import (
+	"pared/internal/check"
+	"pared/internal/forest"
+)
 
 // Estimator supplies a per-leaf error indicator driving adaptation. PARED's
 // experiments use interpolation-error indicators for problems with known
@@ -62,11 +65,18 @@ func AdaptOnce(r *Refiner, est Estimator, refineTol, coarsenTol float64, maxLeve
 // levels of refinement were needed" loop.
 func AdaptToTolerance(f *forest.Forest, est Estimator, tol float64, maxLevel int32, maxPasses int) (*Refiner, int) {
 	r := NewRefiner(f)
+	passes := maxPasses
 	for pass := 0; pass < maxPasses; pass++ {
 		res := AdaptOnce(r, est, tol, 0, maxLevel)
 		if res.Flagged == 0 {
-			return r, pass
+			passes = pass
+			break
 		}
 	}
-	return r, maxPasses
+	if check.Enabled && f.NumLeaves() > 0 {
+		// Bisection closure must leave the leaf mesh conformal after every
+		// adaptation round.
+		check.MeshConformal(f.LeafMesh().Mesh, "refine.AdaptToTolerance")
+	}
+	return r, passes
 }
