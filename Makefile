@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint assert bench cover reproduce full-assert clean
+.PHONY: all build test race lint assert bench bench-json cover reproduce full-assert clean
 
 all: build lint test
 
@@ -31,6 +31,12 @@ assert:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf snapshot at Quick scale. BENCH_pnr.json is committed
+# at the repo root: regenerating it before a perf-sensitive change and
+# diffing after makes the repo's performance trajectory reviewable.
+bench-json:
+	$(GO) run ./cmd/pnrbench -exp all -quick -json BENCH_pnr.json > /dev/null
 
 cover:
 	$(GO) test ./internal/... -coverprofile=cover.out

@@ -5,25 +5,58 @@
 //	pnrbench -exp all            # everything, paper scale (minutes)
 //	pnrbench -exp fig3 -quick    # one experiment at test scale (seconds)
 //	pnrbench -exp transient -svg out/
+//	pnrbench -quick -json BENCH_pnr.json
 //
 // Experiments: fig1, fig3, fig4, fig5, fig45_3d, transient (figs 6-8),
 // bound8, thm61, engine, ablation, geo, diffusion, all.
+//
+// With -json, a machine-readable performance report (wall time and heap
+// allocation per experiment, plus run metadata) is written to the given
+// file. The committed BENCH_pnr.json at the repo root is such a report at
+// Quick scale — the repo's performance trajectory, regenerated with
+// `make bench-json` and diffed in review like any other artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"pared/internal/experiments"
 )
 
+// benchRecord is one experiment's measured cost. Allocation figures are
+// runtime.MemStats deltas (total bytes allocated and heap objects created
+// during the experiment, including what the GC later reclaims).
+type benchRecord struct {
+	Name       string  `json:"name"`
+	WallMs     float64 `json:"wall_ms"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+// benchReport is the -json output: run metadata plus one record per
+// experiment, in execution order.
+type benchReport struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      string        `json:"scale"`
+	Records    []benchRecord `json:"records"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|transient|bound8|thm61|engine|all")
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	svg := flag.String("svg", "", "directory for SVG mesh renderings (fig1, transient)")
+	jsonOut := flag.String("json", "", "write per-experiment wall time and allocation stats to this JSON file")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -36,15 +69,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	report := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scaleName(scale),
+	}
 	w := os.Stdout
 	run := func(name string, f func()) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		fmt.Fprintf(w, "\n=== %s (scale=%v) ===\n", name, scaleName(scale))
 		f()
-		fmt.Fprintf(w, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(w, "[%s took %v]\n", name, wall.Round(time.Millisecond))
+		report.Records = append(report.Records, benchRecord{
+			Name:       name,
+			WallMs:     float64(wall.Microseconds()) / 1000,
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		})
 	}
 
 	known := "fig1 fig3 fig4 fig5 fig45_3d transient transient3d bound8 thm61 engine ablation geo diffusion all"
@@ -70,6 +122,19 @@ func main() {
 	run("ablation", func() { experiments.Ablation(w, scale) })
 	run("geo", func() { experiments.GeoComparison(w, scale) })
 	run("diffusion", func() { experiments.DiffusionComparison(w, scale) })
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pnrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pnrbench: wrote %s (%d experiments)\n", *jsonOut, len(report.Records))
+	}
 }
 
 func scaleName(s experiments.Scale) string {

@@ -5,6 +5,40 @@ import (
 	"pared/internal/graph"
 )
 
+// klMove records one KL move for prefix rollback.
+type klMove struct {
+	v    int32
+	from int32
+}
+
+// klScratch holds the work arrays of runKL and forceBalance so the V-cycle
+// drivers reuse them across levels and cycles instead of reallocating per
+// call. Buffers grow to the largest graph seen. The zero value is ready to
+// use; a nil *klScratch means "allocate per call".
+type klScratch struct {
+	partW      []int64
+	extW       []int64 // edge weight from the scanned vertex to each part
+	locked     []bool
+	inBoundary []bool
+	touched    []int32
+	boundary   []int32
+	moves      []klMove
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growI64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
 // refineKL runs PNR's Kernighan–Lin variant: passes of best-gain boundary
 // moves under the 3-term gain
 //
@@ -18,12 +52,12 @@ import (
 // selection with a p×p table of priority queues rebuilt when part weights
 // change; on the small coarse graph G a direct scan of the boundary computes
 // the same argmax move with less machinery.
-func refineKL(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
+func refineKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config) {
 	if cfg.UseGainTable {
 		refineKLTable(g, parts, orig, p, cfg)
 		return
 	}
-	runKL(g, parts, orig, p, cfg, false)
+	runKL(s, g, parts, orig, p, cfg, false)
 }
 
 // polishKL runs extra passes with the balance term replaced by a hard
@@ -31,16 +65,23 @@ func refineKL(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
 // and the gain is cut + α·migration. Applied after balance is reached, it
 // recovers cut quality that the soft quadratic term would otherwise freeze
 // (every move then carries a −2βw² penalty, blocking small cut improvements).
-func polishKL(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
-	runKL(g, parts, orig, p, cfg, true)
+func polishKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config) {
+	runKL(s, g, parts, orig, p, cfg, true)
 }
 
-func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance bool) {
+func runKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance bool) {
 	n := g.N()
 	if n == 0 || p <= 1 {
 		return
 	}
-	partW := make([]int64, p)
+	if s == nil {
+		s = new(klScratch)
+	}
+	s.partW = growI64s(s.partW, p)
+	partW := s.partW
+	for j := 0; j < p; j++ {
+		partW[j] = 0
+	}
 	for v := 0; v < n; v++ {
 		partW[parts[v]] += g.VW[v]
 	}
@@ -52,10 +93,14 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 		}
 		limit = int64(float64(total) / float64(p) * (1 + cfg.Eps))
 	}
-	locked := make([]bool, n)
-	inBoundary := make([]bool, n)
-	extW := make([]int64, p) // scratch: edge weight from v to each part
-	var touched []int32
+	s.locked = growBool(s.locked, n)
+	s.inBoundary = growBool(s.inBoundary, n)
+	s.extW = growI64s(s.extW, p)
+	locked, inBoundary, extW := s.locked, s.inBoundary, s.extW
+	for j := 0; j < p; j++ {
+		extW[j] = 0
+	}
+	touched := s.touched[:0]
 
 	isBoundary := func(v int32) bool {
 		cross := false
@@ -68,7 +113,7 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 	}
 
 	for pass := 0; pass < cfg.Passes; pass++ {
-		var boundary []int32
+		boundary := s.boundary[:0]
 		for v := int32(0); v < int32(n); v++ {
 			locked[v] = false
 			inBoundary[v] = isBoundary(v)
@@ -76,11 +121,7 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 				boundary = append(boundary, v)
 			}
 		}
-		type move struct {
-			v    int32
-			from int32
-		}
-		var moves []move
+		moves := s.moves[:0]
 		cumGain, bestGain := 0.0, 0.0
 		bestIdx := -1
 		negStreak := 0
@@ -150,7 +191,7 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 				check.PartitionWeights(g, parts, p, partW, "core.runKL")
 			}
 			cumGain += selGain
-			moves = append(moves, move{selV, from})
+			moves = append(moves, klMove{selV, from})
 			g.Neighbors(selV, func(u int32, _ int64) {
 				if !inBoundary[u] {
 					inBoundary[u] = true
@@ -175,10 +216,13 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 			partW[m.from] += g.VW[m.v]
 			parts[m.v] = m.from
 		}
+		// Hand the grown buffers back so the next pass/call reuses them.
+		s.boundary, s.moves = boundary, moves
 		if bestIdx < 0 {
 			break
 		}
 	}
+	s.touched = touched
 }
 
 // forceBalance is the post-refinement safety net: while some part exceeds
@@ -186,12 +230,19 @@ func runKL(g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance b
 // heaviest part into an underweight part. The β-weighted gain already prefers
 // such moves, so this loop usually runs zero iterations; it guarantees the
 // ε < 0.01 balance the paper reports even on adversarial inputs.
-func forceBalance(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
+func forceBalance(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config) {
 	n := g.N()
 	if n == 0 || p <= 1 {
 		return
 	}
-	partW := make([]int64, p)
+	if s == nil {
+		s = new(klScratch)
+	}
+	s.partW = growI64s(s.partW, p)
+	partW := s.partW
+	for j := 0; j < p; j++ {
+		partW[j] = 0
+	}
 	for v := 0; v < n; v++ {
 		partW[parts[v]] += g.VW[v]
 	}
@@ -201,8 +252,13 @@ func forceBalance(g *graph.Graph, parts, orig []int32, p int, cfg Config) {
 	}
 	avg := float64(total) / float64(p)
 	limit := int64(avg * (1 + cfg.Eps))
-	extW := make([]int64, p)
-	var touched []int32
+	s.extW = growI64s(s.extW, p)
+	extW := s.extW
+	for j := 0; j < p; j++ {
+		extW[j] = 0
+	}
+	touched := s.touched[:0]
+	defer func() { s.touched = touched }()
 	for iter := 0; iter < 4*n; iter++ {
 		h := int32(0)
 		for j := 1; j < p; j++ {

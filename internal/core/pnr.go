@@ -112,6 +112,16 @@ func Partition(g *graph.Graph, p int, cfg Config) []int32 {
 	return mlkl.Partition(g, p, init)
 }
 
+// pnrScratch bundles the reusable work buffers of one Repartition call: the
+// KL move machinery and the contraction intermediates. One instance threads
+// through every V-cycle and recursion level (all strictly sequential), so
+// steady-state repartitioning allocates only the per-level graphs and
+// assignment vectors.
+type pnrScratch struct {
+	kl       klScratch
+	contract graph.ContractScratch
+}
+
 // Repartition computes a balanced partition of g starting from the current
 // assignment old, minimizing Equation 1. old is not modified.
 func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
@@ -119,6 +129,7 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 	if len(old) != g.N() {
 		panic("core: old assignment length mismatch")
 	}
+	scr := new(pnrScratch)
 	parts := append([]int32(nil), old...)
 	best := parts
 	bestCost := 0.0
@@ -151,12 +162,12 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 		if flat {
 			cyc.CoarsenTo = g.N() + 1
 		}
-		parts = repartitionML(g, parts, old, p, cyc, 0)
+		parts = repartitionML(scr, g, parts, old, p, cyc, 0)
 		// Safety net: if the soft balance term left residual imbalance,
 		// apply forced boundary moves until within ε.
-		forceBalance(g, parts, old, p, cyc)
+		forceBalance(&scr.kl, g, parts, old, p, cyc)
 		// Cut polish under a hard balance constraint (see polishKL).
-		polishKL(g, parts, old, p, cyc)
+		polishKL(&scr.kl, g, parts, old, p, cyc)
 		cost := Cost(g, old, parts, p, cfg.Alpha, cfg.Beta)
 		if cycle == 0 || cost < bestCost {
 			best = append([]int32(nil), parts...)
@@ -177,8 +188,8 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 		}
 		scratch := mlkl.Partition(g, p, init)
 		scratch = partition.MinMigrationRelabel(g.VW, old, scratch, p)
-		forceBalance(g, scratch, old, p, cfg)
-		polishKL(g, scratch, old, p, cfg)
+		forceBalance(&scr.kl, g, scratch, old, p, cfg)
+		polishKL(&scr.kl, g, scratch, old, p, cfg)
 		cutMig := func(parts []int32) float64 {
 			return float64(partition.EdgeCut(g, parts)) +
 				cfg.Alpha*float64(partition.MigrationCost(g.VW, old, parts))
@@ -197,14 +208,14 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 // construction and only the KL refinement moves anything. start is the
 // assignment being improved; orig is the fixed data location that migration
 // is charged against.
-func repartitionML(g *graph.Graph, start, orig []int32, p int, cfg Config, depth int) []int32 {
+func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, cfg Config, depth int) []int32 {
 	stop := cfg.CoarsenTo
 	if 4*p > stop {
 		stop = 4 * p
 	}
 	if g.N() <= stop || depth > 40 {
 		parts := append([]int32(nil), start...)
-		refineKL(g, parts, orig, p, cfg)
+		refineKL(&scr.kl, g, parts, orig, p, cfg)
 		return parts
 	}
 	// Cap contracted-vertex weight so coarse-level KL moves stay reversible
@@ -221,10 +232,10 @@ func repartitionML(g *graph.Graph, start, orig []int32, p int, cfg Config, depth
 		allow = func(u, v int32) bool { return g.VW[u]+g.VW[v] <= capW }
 	}
 	match := graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
-	cg, f2c := graph.Contract(g, match)
+	cg, f2c := graph.ContractInto(g, match, &scr.contract)
 	if cg.N() >= g.N()*19/20 {
 		parts := append([]int32(nil), start...)
-		refineKL(g, parts, orig, p, cfg)
+		refineKL(&scr.kl, g, parts, orig, p, cfg)
 		return parts
 	}
 	cstart := make([]int32, cg.N())
@@ -248,12 +259,12 @@ func repartitionML(g *graph.Graph, start, orig []int32, p int, cfg Config, depth
 			corig[c] = orig[v]
 		}
 	}
-	cparts := repartitionML(cg, cstart, corig, p, cfg, depth+1)
+	cparts := repartitionML(scr, cg, cstart, corig, p, cfg, depth+1)
 	parts := make([]int32, g.N())
 	for v := range parts {
 		parts[v] = cparts[f2c[v]]
 	}
-	refineKL(g, parts, orig, p, cfg)
-	polishKL(g, parts, orig, p, cfg)
+	refineKL(&scr.kl, g, parts, orig, p, cfg)
+	polishKL(&scr.kl, g, parts, orig, p, cfg)
 	return parts
 }

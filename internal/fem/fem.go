@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"pared/internal/geom"
+	"pared/internal/kern"
 	"pared/internal/la"
 	"pared/internal/mesh"
 )
@@ -77,39 +78,81 @@ func elemStiffness3D(p [4]geom.Vec3) (k [4][4]float64, ok bool) {
 	return k, true
 }
 
+// assembleGrain is the element-chunk size for parallel stiffness assembly.
+const assembleGrain = 256
+
 // AssembleLaplace assembles the global P1 stiffness matrix of −Δ on m,
 // without boundary conditions.
+//
+// Assembly is element-parallel on internal/kern: element e owns the triplet
+// slots [e·nv², (e+1)·nv²), so workers write disjoint ranges and the triplet
+// stream is in exact element order — byte-identical to a serial loop — before
+// la.BuildCSR sums it deterministically.
 func AssembleLaplace(m *mesh.Mesh) *la.CSR {
 	n := m.NumVerts()
-	b := la.NewBuilder(n)
-	for e, el := range m.Elems {
-		if m.Dim == mesh.D2 {
-			k, ok := elemStiffness2D(m.Verts[el.V[0]], m.Verts[el.V[1]], m.Verts[el.V[2]])
-			if !ok {
-				panic(fmt.Sprintf("fem: degenerate element %d", e))
-			}
-			for i := 0; i < 3; i++ {
-				for j := 0; j < 3; j++ {
-					b.Add(int(el.V[i]), int(el.V[j]), k[i][j])
+	ne := m.NumElems()
+	nv := 3
+	if m.Dim == mesh.D3 {
+		nv = 4
+	}
+	nv2 := nv * nv
+	rows := make([]int32, ne*nv2)
+	cols := make([]int32, ne*nv2)
+	vals := make([]float64, ne*nv2)
+	// badAt[c] records the smallest degenerate element in chunk c (-1 if
+	// none); chunks are scanned in order afterwards so the panic names the
+	// first bad element, exactly like the serial loop did.
+	badAt := make([]int32, kern.NumChunks(ne, assembleGrain))
+	kern.ForChunks(ne, assembleGrain, func(c, lo, hi int) {
+		badAt[c] = -1
+		for e := lo; e < hi; e++ {
+			el := m.Elems[e]
+			off := e * nv2
+			if m.Dim == mesh.D2 {
+				k, ok := elemStiffness2D(m.Verts[el.V[0]], m.Verts[el.V[1]], m.Verts[el.V[2]])
+				if !ok {
+					if badAt[c] < 0 {
+						badAt[c] = int32(e)
+					}
+					continue
 				}
-			}
-		} else {
-			var p [4]geom.Vec3
-			for i := 0; i < 4; i++ {
-				p[i] = m.Verts[el.V[i]]
-			}
-			k, ok := elemStiffness3D(p)
-			if !ok {
-				panic(fmt.Sprintf("fem: degenerate element %d", e))
-			}
-			for i := 0; i < 4; i++ {
-				for j := 0; j < 4; j++ {
-					b.Add(int(el.V[i]), int(el.V[j]), k[i][j])
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						rows[off] = el.V[i]
+						cols[off] = el.V[j]
+						vals[off] = k[i][j]
+						off++
+					}
+				}
+			} else {
+				var p [4]geom.Vec3
+				for i := 0; i < 4; i++ {
+					p[i] = m.Verts[el.V[i]]
+				}
+				k, ok := elemStiffness3D(p)
+				if !ok {
+					if badAt[c] < 0 {
+						badAt[c] = int32(e)
+					}
+					continue
+				}
+				for i := 0; i < 4; i++ {
+					for j := 0; j < 4; j++ {
+						rows[off] = el.V[i]
+						cols[off] = el.V[j]
+						vals[off] = k[i][j]
+						off++
+					}
 				}
 			}
 		}
+	})
+	for _, bad := range badAt {
+		if bad >= 0 {
+			panic(fmt.Sprintf("fem: degenerate element %d", bad))
+		}
 	}
-	return b.Build()
+	return la.BuildCSR(n, rows, cols, vals)
 }
 
 // AssembleLoad assembles the P1 load vector for a source term f using the

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"testing"
+
+	"pared/internal/meshgen"
+)
+
+// coarseningFixture builds the dual graph of a 120×120 triangulation (28.8k
+// vertices), the scale at which one multilevel coarsening level starts to
+// dominate ML-KL and PNR wall time.
+func coarseningFixture() *Graph {
+	return FromDual(meshgen.RectTri(120, 120, -1, -1, 1, 1))
+}
+
+// BenchmarkCoarsenLevel is the acceptance microbenchmark for the multilevel
+// coarsening hot path: one heavy-edge matching plus contraction.
+func BenchmarkCoarsenLevel(b *testing.B) {
+	g := coarseningFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match := HeavyEdgeMatching(g, 7, nil)
+		cg, _ := Contract(g, match)
+		if cg.N() >= g.N() {
+			b.Fatal("contraction made no progress")
+		}
+	}
+}
+
+func BenchmarkHeavyEdgeMatching(b *testing.B) {
+	g := coarseningFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HeavyEdgeMatching(g, int64(i+1), nil)
+	}
+}
+
+func BenchmarkContract(b *testing.B) {
+	g := coarseningFixture()
+	match := HeavyEdgeMatching(g, 7, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Contract(g, match)
+	}
+}
+
+func BenchmarkFromDual(b *testing.B) {
+	m := meshgen.RectTri(120, 120, -1, -1, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromDual(m)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pared/internal/kern"
 	"pared/internal/la"
 	"pared/internal/mesh"
 )
@@ -155,19 +156,63 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// dualGrain is the kern chunk size for per-vertex adjacency sorting.
+const dualGrain = 1024
+
 // FromDual builds the unit-weight dual graph of a mesh: one vertex per
 // element, edges between facet-sharing elements. This is the fine graph the
 // standard partitioners (RSB, Multilevel-KL) operate on in the paper's
 // comparisons.
+//
+// The construction is map-free: mesh.InteriorFacetPairs already yields each
+// adjacent element pair exactly once (two simplices share at most one facet
+// in a conforming mesh), so the CSR is assembled by degree counting and a
+// scatter pass, then each row is sorted ascending — the same layout the
+// historical Builder path produced.
 func FromDual(m *mesh.Mesh) *Graph {
-	b := NewBuilder(m.NumElems())
-	//paredlint:allow maporder -- AddEdge accumulation is commutative on int64 and Build sorts edges
-	for _, pair := range m.FacetMap() {
-		if pair[1] >= 0 {
-			b.AddEdge(pair[0], pair[1], 1)
-		}
+	n := m.NumElems()
+	pairs := m.InteriorFacetPairs()
+	g := &Graph{Xadj: make([]int32, n+1), VW: make([]int64, n)}
+	deg := make([]int32, n)
+	for _, p := range pairs {
+		deg[p[0]]++
+		deg[p[1]]++
 	}
-	return b.Build()
+	for i := 0; i < n; i++ {
+		g.VW[i] = 1
+		g.Xadj[i+1] = g.Xadj[i] + deg[i]
+	}
+	nnz := int(g.Xadj[n])
+	g.Adj = make([]int32, nnz)
+	g.EW = make([]int64, nnz)
+	pos := deg // reuse: becomes the write cursor per vertex
+	copy(pos, g.Xadj[:n])
+	for _, p := range pairs {
+		g.Adj[pos[p[0]]] = p[1]
+		pos[p[0]]++
+		g.Adj[pos[p[1]]] = p[0]
+		pos[p[1]]++
+	}
+	for i := range g.EW {
+		g.EW[i] = 1
+	}
+	// Ascending adjacency per vertex (dual degrees are at most the facet
+	// count of one element, so insertion sort wins).
+	kern.For(n, dualGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := g.Adj[g.Xadj[v]:g.Xadj[v+1]]
+			for i := 1; i < len(row); i++ {
+				u := row[i]
+				j := i
+				for j > 0 && row[j-1] > u {
+					row[j] = row[j-1]
+					j--
+				}
+				row[j] = u
+			}
+		}
+	})
+	return g
 }
 
 // CoarseDual builds the weighted dual graph G of the coarse mesh M⁰ from the
@@ -189,13 +234,10 @@ func CoarseDual(numRoots int, leafMesh *mesh.Mesh, leafRoot []int32) *Graph {
 		}
 		b.SetVW(int32(i), c)
 	}
-	//paredlint:allow maporder -- AddEdge accumulation is commutative on int64 and Build sorts edges
-	for _, pair := range leafMesh.FacetMap() {
-		if pair[1] >= 0 {
-			r1, r2 := leafRoot[pair[0]], leafRoot[pair[1]]
-			if r1 != r2 {
-				b.AddEdge(r1, r2, 1)
-			}
+	for _, pair := range leafMesh.InteriorFacetPairs() {
+		r1, r2 := leafRoot[pair[0]], leafRoot[pair[1]]
+		if r1 != r2 {
+			b.AddEdge(r1, r2, 1)
 		}
 	}
 	return b.Build()

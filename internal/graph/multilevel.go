@@ -1,12 +1,32 @@
 package graph
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"pared/internal/kern"
+)
+
+// matchGrain and contractGrain are the kern chunk sizes for candidate
+// scoring and coarse-vertex adjacency construction.
+const (
+	matchGrain    = 512
+	contractGrain = 512
+)
 
 // HeavyEdgeMatching computes a matching preferring heavy edges, visiting
 // vertices in a seeded random order. match[v] is v's partner, or v itself if
 // unmatched. If allow is non-nil, only pairs with allow(u, v) true are
 // matched — PNR uses this to restrict matching to vertices in the same
 // current part so contracted vertices inherit an unambiguous assignment.
+// allow must be a pure function of its arguments: candidate scoring runs in
+// parallel chunks and calls it concurrently.
+//
+// The result is byte-identical to the serial greedy algorithm: scoring
+// precomputes each vertex's best neighbor over ALL allowed neighbors in
+// parallel, and the sequential commit pass walks the shuffled order exactly
+// as before. When a vertex's precomputed candidate is still unmatched it
+// equals the serial choice (the argmax over a superset that is itself in the
+// subset); otherwise the commit falls back to the serial rescan.
 func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int32 {
 	n := g.N()
 	match := make([]int32, n)
@@ -19,10 +39,10 @@ func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int3
 	}
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-	for _, v := range order {
-		if match[v] >= 0 {
-			continue
-		}
+
+	// rescan is the serial selection: best unmatched allowed neighbor of v
+	// under the (weight desc, index asc) tie-break.
+	rescan := func(v int32) int32 {
 		best := int32(-1)
 		var bestW int64 = -1
 		g.Neighbors(v, func(u int32, w int64) {
@@ -36,7 +56,69 @@ func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int3
 				best, bestW = u, w
 			}
 		})
-		if best >= 0 {
+		return best
+	}
+
+	// The eager pre-scoring below costs roughly one extra neighbor sweep per
+	// vertex; it only pays for itself when there are workers to spread it
+	// over and enough vertices to chunk. Below that threshold, run the
+	// classic lazy greedy loop — same output (the parallel path reduces to
+	// it, see below), no overhead.
+	if kern.Workers() == 1 || n < 2*matchGrain {
+		for _, v := range order {
+			if match[v] >= 0 {
+				continue
+			}
+			if best := rescan(v); best >= 0 {
+				match[v] = best
+				match[best] = v
+			} else {
+				match[v] = v
+			}
+		}
+		return match
+	}
+
+	// Parallel phase: best allowed neighbor per vertex, ignoring match state,
+	// under the same (weight desc, index asc) tie-break as the serial scan.
+	cand := make([]int32, n)
+	kern.For(n, matchGrain, func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			best := int32(-1)
+			var bestW int64 = -1
+			g.Neighbors(v, func(u int32, w int64) {
+				if u == v {
+					return
+				}
+				if allow != nil && !allow(v, u) {
+					return
+				}
+				if w > bestW || (w == bestW && (best < 0 || u < best)) {
+					best, bestW = u, w
+				}
+			})
+			cand[v] = best
+		}
+	})
+
+	// Sequential commit in the seeded random order (the deterministic
+	// tie-break between conflicting candidates). If v's candidate is still
+	// unmatched it equals the lazy argmax (the max over all allowed
+	// neighbors, landing in the unmatched subset, is the subset's max too);
+	// if it was taken, the serial rescan recovers the lazy choice exactly.
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		if c := cand[v]; c < 0 {
+			match[v] = v
+			continue
+		} else if match[c] < 0 {
+			match[v] = c
+			match[c] = v
+			continue
+		}
+		if best := rescan(v); best >= 0 {
 			match[v] = best
 			match[best] = v
 		} else {
@@ -46,11 +128,56 @@ func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int3
 	return match
 }
 
+// ContractScratch holds the intermediate buffers of ContractInto so the
+// multilevel drivers (mlkl bisection, PNR's V-cycles) reuse them across
+// levels and cycles instead of reallocating the whole hierarchy every time.
+// Buffers grow to the largest level seen and stay there. The zero value is
+// ready to use; a nil *ContractScratch means "allocate per call".
+//
+// Only intermediates live here — the returned Graph and fine→coarse map are
+// always freshly allocated and safe to retain.
+type ContractScratch struct {
+	first, second []int32 // fine members of each coarse vertex (second -1)
+	capOff        []int32 // candidate-slot prefix offsets per coarse vertex
+	cnt           []int32 // deduplicated adjacency length per coarse vertex
+	adjBuf        []int32 // candidate neighbor slots
+	ewBuf         []int64 // candidate weight slots
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
 // Contract builds the coarse graph induced by a matching. It returns the
 // coarse graph and the fine→coarse vertex map. Coarse vertex weights are sums
 // of their constituents'; parallel edges merge by weight; edges internal to a
 // matched pair disappear.
 func Contract(g *Graph, match []int32) (*Graph, []int32) {
+	return ContractInto(g, match, nil)
+}
+
+// ContractInto is Contract with caller-owned scratch (see ContractScratch).
+//
+// The construction is map-free and coarse-vertex-parallel: each coarse
+// vertex owns a disjoint slot range of the candidate buffers sized by its
+// constituents' degrees, gathers its coarse neighbors there, sorts and
+// merges them in place (edge weights are int64, so merge order cannot change
+// sums), and the final CSR is stitched together in coarse-vertex order. The
+// result is byte-identical to the historical Builder-based contraction.
+func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32) {
+	if s == nil {
+		s = new(ContractScratch)
+	}
 	n := g.N()
 	f2c := make([]int32, n)
 	for i := range f2c {
@@ -67,23 +194,98 @@ func Contract(g *Graph, match []int32) (*Graph, []int32) {
 		}
 		nc++
 	}
-	b := NewBuilder(int(nc))
-	vw := make([]int64, nc)
-	for v := int32(0); v < int32(n); v++ {
-		vw[f2c[v]] += g.VW[v]
-	}
-	for i, w := range vw {
-		b.SetVW(int32(i), w)
+	ncInt := int(nc)
+	s.first = growI32(s.first, ncInt)
+	s.second = growI32(s.second, ncInt)
+	for c := 0; c < ncInt; c++ {
+		s.second[c] = -1
 	}
 	for v := int32(0); v < int32(n); v++ {
-		g.Neighbors(v, func(u int32, w int64) {
-			cu, cv := f2c[u], f2c[v]
-			if cu != cv && v < u {
-				b.AddEdge(cv, cu, w)
+		c := f2c[v]
+		if m := match[v]; m != v && m >= 0 && m < v {
+			s.second[c] = v // m was first (m < v, visited earlier)
+			continue
+		}
+		s.first[c] = v
+	}
+	// Candidate slot capacity per coarse vertex: sum of member degrees.
+	s.capOff = growI32(s.capOff, ncInt+1)
+	s.capOff[0] = 0
+	for c := 0; c < ncInt; c++ {
+		d := g.Degree(s.first[c])
+		if m := s.second[c]; m >= 0 {
+			d += g.Degree(m)
+		}
+		s.capOff[c+1] = s.capOff[c] + int32(d)
+	}
+	s.adjBuf = growI32(s.adjBuf, int(s.capOff[ncInt]))
+	s.ewBuf = growI64(s.ewBuf, int(s.capOff[ncInt]))
+	s.cnt = growI32(s.cnt, ncInt)
+	cnt := s.cnt
+	kern.For(ncInt, contractGrain, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			base := int(s.capOff[c])
+			k := 0
+			gather := func(v int32) {
+				g.Neighbors(v, func(u int32, w int64) {
+					cu := f2c[u]
+					if cu == int32(c) {
+						return // edge internal to the matched pair
+					}
+					s.adjBuf[base+k] = cu
+					s.ewBuf[base+k] = w
+					k++
+				})
 			}
-		})
+			gather(s.first[c])
+			if m := s.second[c]; m >= 0 {
+				gather(m)
+			}
+			// Insertion-sort the gathered neighbors by coarse index, then
+			// merge duplicates in place (ascending adjacency, exact sums).
+			for i := base + 1; i < base+k; i++ {
+				cu, w := s.adjBuf[i], s.ewBuf[i]
+				j := i
+				for j > base && s.adjBuf[j-1] > cu {
+					s.adjBuf[j], s.ewBuf[j] = s.adjBuf[j-1], s.ewBuf[j-1]
+					j--
+				}
+				s.adjBuf[j], s.ewBuf[j] = cu, w
+			}
+			m := base
+			for i := base; i < base+k; i++ {
+				if i > base && s.adjBuf[i] == s.adjBuf[m-1] {
+					s.ewBuf[m-1] += s.ewBuf[i]
+					continue
+				}
+				s.adjBuf[m], s.ewBuf[m] = s.adjBuf[i], s.ewBuf[i]
+				m++
+			}
+			cnt[c] = int32(m - base)
+		}
+	})
+	cg := &Graph{
+		Xadj: make([]int32, ncInt+1),
+		VW:   make([]int64, ncInt),
 	}
-	return b.Build(), f2c
+	for c := 0; c < ncInt; c++ {
+		cg.Xadj[c+1] = cg.Xadj[c] + cnt[c]
+		cg.VW[c] = g.VW[s.first[c]]
+		if m := s.second[c]; m >= 0 {
+			cg.VW[c] += g.VW[m]
+		}
+	}
+	nnz := int(cg.Xadj[ncInt])
+	cg.Adj = make([]int32, nnz)
+	cg.EW = make([]int64, nnz)
+	kern.For(ncInt, contractGrain, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			base := int(s.capOff[c])
+			copy(cg.Adj[cg.Xadj[c]:cg.Xadj[c+1]], s.adjBuf[base:base+int(cnt[c])])
+			copy(cg.EW[cg.Xadj[c]:cg.Xadj[c+1]], s.ewBuf[base:base+int(cnt[c])])
+		}
+	})
+	return cg, f2c
 }
 
 // ProcGraph builds the processor-connectivity graph Hᵗ of §8: one vertex per

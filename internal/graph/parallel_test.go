@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pared/internal/meshgen"
+)
+
+func withProcs(t *testing.T, procs int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// contractReference is the historical Builder-based contraction, kept as the
+// oracle the map-free ContractInto must reproduce byte for byte.
+func contractReference(g *Graph, match []int32) (*Graph, []int32) {
+	n := g.N()
+	f2c := make([]int32, n)
+	for i := range f2c {
+		f2c[i] = -1
+	}
+	nc := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		if f2c[v] >= 0 {
+			continue
+		}
+		f2c[v] = nc
+		if m := match[v]; m != v && m >= 0 {
+			f2c[m] = nc
+		}
+		nc++
+	}
+	b := NewBuilder(int(nc))
+	vw := make([]int64, nc)
+	for v := int32(0); v < int32(n); v++ {
+		vw[f2c[v]] += g.VW[v]
+		g.Neighbors(v, func(u int32, w int64) {
+			if v < u && f2c[v] != f2c[u] {
+				b.AddEdge(f2c[v], f2c[u], w)
+			}
+		})
+	}
+	for c := int32(0); c < nc; c++ {
+		b.SetVW(c, vw[c])
+	}
+	return b.Build(), f2c
+}
+
+func graphsEqual(t *testing.T, name string, got, want *Graph) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Xadj, want.Xadj) {
+		t.Fatalf("%s: Xadj differs", name)
+	}
+	if !reflect.DeepEqual(got.Adj, want.Adj) {
+		t.Fatalf("%s: Adj differs", name)
+	}
+	if !reflect.DeepEqual(got.EW, want.EW) {
+		t.Fatalf("%s: EW differs", name)
+	}
+	if !reflect.DeepEqual(got.VW, want.VW) {
+		t.Fatalf("%s: VW differs", name)
+	}
+}
+
+// TestContractMatchesBuilderReference pins the map-free contraction to the
+// historical Builder-based construction on a real dual graph, through three
+// coarsening levels so coarse-graph duplicates (parallel edges merging) are
+// exercised too.
+func TestContractMatchesBuilderReference(t *testing.T) {
+	g := FromDual(meshgen.RectTri(40, 40, -1, -1, 1, 1))
+	s := new(ContractScratch)
+	for level := 0; level < 3; level++ {
+		match := HeavyEdgeMatching(g, int64(level+1), nil)
+		got, gotF2c := ContractInto(g, match, s)
+		want, wantF2c := contractReference(g, match)
+		if !reflect.DeepEqual(gotF2c, wantF2c) {
+			t.Fatalf("level %d: fine-to-coarse map differs", level)
+		}
+		graphsEqual(t, "contract", got, want)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		g = got
+	}
+}
+
+// TestFromDualMatchesBuilderReference pins the map-free dual construction to
+// the historical FacetMap+Builder path.
+func TestFromDualMatchesBuilderReference(t *testing.T) {
+	m := meshgen.RectTri(25, 25, -1, -1, 1, 1)
+	got := FromDual(m)
+	b := NewBuilder(m.NumElems())
+	for _, pair := range m.FacetMap() {
+		if pair[1] >= 0 {
+			b.AddEdge(pair[0], pair[1], 1)
+		}
+	}
+	graphsEqual(t, "fromdual", got, b.Build())
+}
+
+// TestCoarseningBitIdenticalAcrossGOMAXPROCS: matching and contraction are
+// scheduling-free — identical outputs under GOMAXPROCS ∈ {1, 2, 8}, with and
+// without an allow predicate.
+func TestCoarseningBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	g := FromDual(meshgen.RectTri(40, 40, -1, -1, 1, 1))
+	half := int32(g.N() / 2)
+	allow := func(u, v int32) bool { return (u < half) == (v < half) }
+
+	type snapshot struct {
+		match []int32
+		cg    *Graph
+		f2c   []int32
+	}
+	take := func() snapshot {
+		match := HeavyEdgeMatching(g, 42, allow)
+		cg, f2c := Contract(g, match)
+		return snapshot{match, cg, f2c}
+	}
+	var ref snapshot
+	withProcs(t, 1, func() { ref = take() })
+	for _, procs := range []int{1, 2, 8} {
+		withProcs(t, procs, func() {
+			got := take()
+			if !reflect.DeepEqual(got.match, ref.match) {
+				t.Fatalf("GOMAXPROCS=%d: matching differs", procs)
+			}
+			if !reflect.DeepEqual(got.f2c, ref.f2c) {
+				t.Fatalf("GOMAXPROCS=%d: fine-to-coarse map differs", procs)
+			}
+			graphsEqual(t, "coarse graph", got.cg, ref.cg)
+		})
+	}
+}
+
+// TestContractScratchReuse: reusing one scratch across differently-sized
+// contractions must not leak state between calls.
+func TestContractScratchReuse(t *testing.T) {
+	s := new(ContractScratch)
+	big := FromDual(meshgen.RectTri(30, 30, -1, -1, 1, 1))
+	small := FromDual(meshgen.RectTri(8, 8, -1, -1, 1, 1))
+	for _, g := range []*Graph{big, small, big} {
+		match := HeavyEdgeMatching(g, 3, nil)
+		got, _ := ContractInto(g, match, s)
+		want, _ := contractReference(g, match)
+		graphsEqual(t, "scratch reuse", got, want)
+	}
+}

@@ -1,0 +1,258 @@
+package kern
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withGOMAXPROCS runs f under the given GOMAXPROCS setting and restores the
+// previous value. On machines with fewer cores the setting still changes
+// Workers(), which is all the determinism contract depends on.
+func withGOMAXPROCS(t *testing.T, procs int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+var procsUnderTest = []int{1, 2, 8}
+
+func TestNumChunksGeometry(t *testing.T) {
+	cases := []struct{ n, grain, want int }{
+		{0, 8, 0}, {-3, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {100, 7, 15},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.grain); got != c.want {
+			t.Errorf("NumChunks(%d,%d) = %d, want %d", c.n, c.grain, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NumChunks with grain 0 must panic")
+		}
+	}()
+	NumChunks(4, 0)
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	const n = 10_000
+	for _, procs := range procsUnderTest {
+		withGOMAXPROCS(t, procs, func() {
+			hits := make([]int32, n)
+			For(n, 64, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("GOMAXPROCS=%d: index %d visited %d times", procs, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestForChunksGeometryIndependentOfWorkers(t *testing.T) {
+	const n, grain = 5000, 129
+	type span struct{ lo, hi int }
+	record := func() []span {
+		out := make([]span, NumChunks(n, grain))
+		ForChunks(n, grain, func(c, lo, hi int) { out[c] = span{lo, hi} })
+		return out
+	}
+	var ref []span
+	for _, procs := range procsUnderTest {
+		withGOMAXPROCS(t, procs, func() {
+			got := record()
+			if ref == nil {
+				ref = got
+				return
+			}
+			for c := range ref {
+				if got[c] != ref[c] {
+					t.Fatalf("GOMAXPROCS=%d: chunk %d spans %v, want %v", procs, c, got[c], ref[c])
+				}
+			}
+		})
+	}
+	// Chunks must tile [0, n) in order.
+	for c, s := range ref {
+		if s.lo != c*grain || (c < len(ref)-1 && s.hi != s.lo+grain) || (c == len(ref)-1 && s.hi != n) {
+			t.Fatalf("chunk %d spans %v: not a static tiling of [0,%d)", c, s, n)
+		}
+	}
+}
+
+// TestSumBitIdenticalAcrossGOMAXPROCS is the core determinism guarantee:
+// floating-point reductions return byte-identical results no matter how many
+// workers run, because partials combine in chunk order.
+func TestSumBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, 100_003)
+	for i := range x {
+		x[i] = (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(40)-20)
+	}
+	sum := func() float64 {
+		return Sum(len(x), 1024, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += x[i]
+			}
+			return s
+		})
+	}
+	var refBits uint64
+	withGOMAXPROCS(t, 1, func() { refBits = math.Float64bits(sum()) })
+	for _, procs := range []int{1, 2, 3, 8} {
+		withGOMAXPROCS(t, procs, func() {
+			for rep := 0; rep < 10; rep++ {
+				if bits := math.Float64bits(sum()); bits != refBits {
+					t.Fatalf("GOMAXPROCS=%d rep %d: Sum bits %016x differ from reference %016x",
+						procs, rep, bits, refBits)
+				}
+			}
+		})
+	}
+	// The reference must equal the explicit ordered-chunk serial evaluation.
+	serial := 0.0
+	for c := 0; c < NumChunks(len(x), 1024); c++ {
+		lo, hi := c*1024, (c+1)*1024
+		if hi > len(x) {
+			hi = len(x)
+		}
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		serial += s
+	}
+	if math.Float64bits(serial) != refBits {
+		t.Fatalf("Sum %016x != ordered serial evaluation %016x", refBits, math.Float64bits(serial))
+	}
+}
+
+func TestSumSingleChunkEqualsSerial(t *testing.T) {
+	x := []float64{1e30, 1, -1e30, math.Pi}
+	got := Sum(len(x), 1024, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	})
+	want := 0.0
+	for _, v := range x {
+		want += v
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("single-chunk Sum %v != serial %v", got, want)
+	}
+}
+
+func TestEmptyAndTinySpaces(t *testing.T) {
+	calls := 0
+	For(0, 16, func(lo, hi int) { calls++ })
+	if calls != 0 {
+		t.Fatal("For over empty space must not invoke body")
+	}
+	if s := Sum(0, 16, func(lo, hi int) float64 { return 1 }); s != 0 {
+		t.Fatalf("Sum over empty space = %v, want 0", s)
+	}
+	For(1, 16, func(lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Fatalf("tiny For chunk [%d,%d)", lo, hi)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatal("For over [0,1) must invoke body exactly once")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, procs := range procsUnderTest {
+		withGOMAXPROCS(t, procs, func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("GOMAXPROCS=%d: panic did not propagate", procs)
+				}
+				if msg, ok := r.(string); !ok || msg != "kaboom" {
+					t.Fatalf("GOMAXPROCS=%d: unexpected panic value %v", procs, r)
+				}
+			}()
+			// Trigger on the chunk covering index 4096, whatever the
+			// subdivision: For may pass the whole range in one call.
+			For(10_000, 8, func(lo, hi int) {
+				if lo <= 4096 && 4096 < hi {
+					panic("kaboom")
+				}
+			})
+		})
+	}
+}
+
+// TestParallelStress drives many concurrent chunks with shared read-only
+// input and disjoint writes; primarily a race-detector target for `go test
+// -race ./internal/kern`.
+func TestParallelStress(t *testing.T) {
+	const n = 1 << 16
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	withGOMAXPROCS(t, 8, func() {
+		for rep := 0; rep < 20; rep++ {
+			out := make([]float64, n)
+			For(n, 512, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = in[i] * 2
+				}
+			})
+			total := Sum(n, 512, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += out[i]
+				}
+				return s
+			})
+			want := float64(n) * float64(n-1)
+			if total != want {
+				t.Fatalf("rep %d: total %v, want %v", rep, total, want)
+			}
+		}
+	})
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	x := make([]float64, 1<<16)
+	y := make([]float64, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(len(x), 2048, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				y[j] = 2 * x[j]
+			}
+		})
+	}
+}
+
+func BenchmarkSumOverhead(b *testing.B) {
+	x := make([]float64, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Sum(len(x), 2048, func(lo, hi int) float64 {
+			s := 0.0
+			for j := lo; j < hi; j++ {
+				s += x[j]
+			}
+			return s
+		})
+	}
+}

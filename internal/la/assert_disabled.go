@@ -1,0 +1,9 @@
+//go:build !paredassert
+
+package la
+
+// assertEnabled mirrors check.Enabled for this package (see
+// assert_enabled.go); without the tag the guard compiles away.
+const assertEnabled = false
+
+func (a *CSR) assertMulVecMatchesSerial(dst, x []float64) {}

@@ -1,0 +1,29 @@
+//go:build paredassert
+
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// assertEnabled mirrors check.Enabled for this package. la cannot import
+// internal/check (check → graph → la would cycle), so the paredassert tag
+// gates a local constant instead; the panic prefix keeps the convention.
+const assertEnabled = true
+
+// assertMulVecMatchesSerial recomputes A·x serially and requires the
+// parallel result to match bit-for-bit. This is the runtime teeth behind the
+// kern determinism contract: any future SpMV variant that reassociates
+// per-row accumulation (blocking, SIMD-style unrolling) trips it instantly.
+func (a *CSR) assertMulVecMatchesSerial(dst, x []float64) {
+	ref := make([]float64, a.N)
+	a.mulVecRange(ref, x, 0, a.N)
+	for i := range ref {
+		if math.Float64bits(ref[i]) != math.Float64bits(dst[i]) {
+			panic(fmt.Sprintf(
+				"paredassert: la: parallel SpMV diverges from serial at row %d: %x != %x",
+				i, math.Float64bits(dst[i]), math.Float64bits(ref[i])))
+		}
+	}
+}

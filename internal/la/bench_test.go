@@ -1,0 +1,92 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laplace2D builds the 5-point finite-difference Laplacian on an n×n grid —
+// the same sparsity structure CG sees from P1 assembly on a structured
+// triangulation, at a size where the solve time is dominated by SpMV and the
+// vector kernels.
+func laplace2D(n int) *CSR {
+	b := NewBuilder(n * n)
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := id(i, j)
+			b.Add(v, v, 4)
+			if i > 0 {
+				b.Add(v, id(i-1, j), -1)
+			}
+			if i < n-1 {
+				b.Add(v, id(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(v, id(i, j-1), -1)
+			}
+			if j < n-1 {
+				b.Add(v, id(i, j+1), -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	return x
+}
+
+// BenchmarkCGSolve is the acceptance microbenchmark for the CG hot path: a
+// 200×200 grid Laplacian (40k unknowns) solved to 1e-8.
+func BenchmarkCGSolve(b *testing.B) {
+	a := laplace2D(200)
+	rhs := randVec(a.N, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.N)
+		res := CG(a, rhs, x, 1e-8, 2000)
+		if !res.Converged {
+			b.Fatalf("CG did not converge: %+v", res)
+		}
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	a := laplace2D(400)
+	x := randVec(a.N, 3)
+	dst := make([]float64, a.N)
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(dst, x)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	x := randVec(1<<18, 1)
+	y := randVec(1<<18, 2)
+	b.SetBytes(int64(16 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+// BenchmarkBuilderBuild measures CSR assembly from FEM-like duplicate-heavy
+// triplet streams (the P1 stiffness pattern adds each vertex pair up to six
+// times).
+func BenchmarkBuilderBuild(b *testing.B) {
+	const n = 200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = laplace2D(n)
+	}
+}

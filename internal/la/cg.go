@@ -1,6 +1,10 @@
 package la
 
-import "math"
+import (
+	"math"
+
+	"pared/internal/kern"
+)
 
 func sqrt(x float64) float64 { return math.Sqrt(x) }
 
@@ -11,38 +15,83 @@ type CGResult struct {
 	Converged  bool
 }
 
+// CGScratch holds the work vectors of a CG solve so repeated solves on
+// same-sized systems (transient time stepping, adaptation loops) allocate
+// nothing after the first. The zero value is ready to use.
+type CGScratch struct {
+	inv, r, z, p, ap []float64
+}
+
+// grow resizes every work vector to length n, reusing capacity.
+func (s *CGScratch) grow(n int) {
+	resize := func(v []float64) []float64 {
+		if cap(v) < n {
+			return make([]float64, n)
+		}
+		return v[:n]
+	}
+	s.inv = resize(s.inv)
+	s.r = resize(s.r)
+	s.z = resize(s.z)
+	s.p = resize(s.p)
+	s.ap = resize(s.ap)
+}
+
 // CG solves A·x = b for symmetric positive-definite A with Jacobi
 // preconditioning, overwriting x (which supplies the initial guess).
 // It stops when the residual norm falls below tol·‖b‖₂ or after maxIter
 // iterations.
 func CG(a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
+	return CGWith(new(CGScratch), a, b, x, tol, maxIter)
+}
+
+// CGWith is CG with caller-owned scratch; pass the same scratch to repeated
+// solves to avoid reallocating the five work vectors.
+func CGWith(s *CGScratch, a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
 	n := a.N
-	d := a.Diag()
-	inv := make([]float64, n)
-	for i, v := range d {
-		//paredlint:allow floateq -- exact zero-diagonal guard before forming 1/v
-		if v != 0 {
-			inv[i] = 1 / v
-		} else {
-			inv[i] = 1
+	s.grow(n)
+	inv, r, z, p, ap := s.inv, s.r, s.z, s.p, s.ap
+	diagInto(a, inv)
+	kern.For(n, vecGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			//paredlint:allow floateq -- exact zero-diagonal guard before forming 1/v
+			if inv[i] != 0 {
+				inv[i] = 1 / inv[i]
+			} else {
+				inv[i] = 1
+			}
 		}
-	}
-	r := make([]float64, n)
+	})
 	a.MulVec(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = inv[i] * r[i]
-	}
-	p := append([]float64(nil), z...)
-	ap := make([]float64, n)
+	kern.For(n, vecGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - r[i]
+			z[i] = inv[i] * r[i]
+			p[i] = z[i]
+		}
+	})
 	rz := Dot(r, z)
 	bnorm := Norm2(b)
 	//paredlint:allow floateq -- exact zero-rhs guard; any epsilon would rescale the stopping test
 	if bnorm == 0 {
 		bnorm = 1
+	}
+	// The sweep bodies are hoisted out of the iteration loop and read
+	// alpha/beta through the closure, so a solve allocates two closures
+	// total instead of two per iteration.
+	var alpha, beta float64
+	updateXRZ := func(lo, hi int) {
+		// Fused x/r/z update: one parallel sweep instead of three.
+		for i := lo; i < hi; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			z[i] = inv[i] * r[i]
+		}
+	}
+	updateP := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
 	}
 	res := CGResult{}
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
@@ -58,20 +107,28 @@ func CG(a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
 			// Not SPD (or numerical breakdown); bail with what we have.
 			return res
 		}
-		alpha := rz / pap
-		Axpy(alpha, p, x)
-		Axpy(-alpha, ap, r)
-		for i := range z {
-			z[i] = inv[i] * r[i]
-		}
+		alpha = rz / pap
+		kern.For(n, vecGrain, updateXRZ)
 		rzNew := Dot(r, z)
-		beta := rzNew / rz
+		beta = rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		kern.For(n, vecGrain, updateP)
 	}
 	res.Residual = Norm2(r)
 	res.Converged = res.Residual <= tol*bnorm
 	return res
+}
+
+// diagInto writes the diagonal of A (zero where absent) into d.
+func diagInto(a *CSR, d []float64) {
+	kern.For(a.N, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = 0
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if int(a.Col[k]) == i {
+					d[i] = a.Val[k]
+				}
+			}
+		}
+	})
 }

@@ -10,8 +10,9 @@
 //	           packages (internal/core, internal/graph, internal/partition,
 //	           internal/pared)
 //	rawconc  — no go statements, channel construction, or sync primitives
-//	           outside internal/par (ownership discipline: ranks communicate
-//	           only via par.Comm)
+//	           outside the audited concurrency packages internal/par (rank
+//	           parallelism via par.Comm) and internal/kern (deterministic
+//	           data parallelism)
 //	floateq  — no ==/!= on floating-point operands in non-test code
 //	errcheck — no silently dropped error return values
 //	sleep    — no time.Sleep used as synchronization in library code

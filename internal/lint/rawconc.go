@@ -5,34 +5,49 @@ import (
 	"go/types"
 )
 
-// commPkg is the only package allowed to use raw Go concurrency: ranks are
-// its goroutines, inboxes are its channels. Everywhere else, inter-rank
-// interaction must go through par.Comm so the per-rank ownership discipline
-// (and the collective-ordering contract) stays checkable.
-const commPkg = "pared/internal/par"
+// concPkgs are the only packages allowed to use raw Go concurrency — the
+// project invariant is that ALL concurrency lives in audited packages:
+//
+//   - pared/internal/par: ranks are its goroutines, inboxes are its
+//     channels; inter-rank interaction goes through par.Comm so the per-rank
+//     ownership discipline (and the collective-ordering contract) stays
+//     checkable.
+//   - pared/internal/kern: the deterministic data-parallel kernel layer
+//     (reviewed carve-out, PR 2). Its worker pool uses goroutines and
+//     sync/atomic internally, but its API exposes only static chunk geometry
+//     with ordered reductions, so callers inherit determinism without ever
+//     touching a concurrency primitive.
+//
+// Everywhere else, parallelism must be expressed through those two APIs.
+var concPkgs = map[string]bool{
+	"pared/internal/par":  true,
+	"pared/internal/kern": true,
+}
 
 // RawConc flags go statements, channel construction, and sync/sync-atomic
-// usage outside internal/par.
+// usage outside the audited concurrency packages.
 var RawConc = &Check{
 	Name: "rawconc",
-	Doc:  "raw concurrency primitive outside internal/par",
+	Doc:  "raw concurrency primitive outside internal/par or internal/kern",
 	Run:  runRawConc,
 }
 
+const concHint = "internal/par (rank parallelism) or internal/kern (data parallelism)"
+
 func runRawConc(p *Pass) {
-	if p.Path == commPkg {
+	if concPkgs[p.Path] {
 		return
 	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				p.Reportf(n.Go, "go statement outside %s: rank parallelism must go through par.Run", commPkg)
+				p.Reportf(n.Go, "go statement outside %s", concHint)
 			case *ast.CallExpr:
 				if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "make" {
 					if t := p.TypeOf(n); t != nil {
 						if _, isChan := t.Underlying().(*types.Chan); isChan {
-							p.Reportf(n.Pos(), "channel construction outside %s: communicate through par.Comm", commPkg)
+							p.Reportf(n.Pos(), "channel construction outside %s: communicate through par.Comm", concHint)
 						}
 					}
 				}
@@ -40,14 +55,13 @@ func runRawConc(p *Pass) {
 				if id, ok := n.X.(*ast.Ident); ok {
 					switch p.PkgNameOf(id) {
 					case "sync", "sync/atomic":
-						p.Reportf(n.Pos(), "sync primitive %s.%s outside %s: use par.Comm collectives for coordination",
-							id.Name, n.Sel.Name, commPkg)
+						p.Reportf(n.Pos(), "sync primitive %s.%s outside %s", id.Name, n.Sel.Name, concHint)
 					}
 				}
 			case *ast.SendStmt:
-				p.Reportf(n.Arrow, "channel send outside %s", commPkg)
+				p.Reportf(n.Arrow, "channel send outside %s", concHint)
 			case *ast.SelectStmt:
-				p.Reportf(n.Select, "select statement outside %s", commPkg)
+				p.Reportf(n.Select, "select statement outside %s", concHint)
 			}
 			return true
 		})

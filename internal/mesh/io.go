@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 
 	"pared/internal/geom"
 )
@@ -16,15 +17,27 @@ import (
 func (m *Mesh) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "pared-mesh %d %d %d\n", m.Dim, m.NumVerts(), m.NumElems())
+	// Per-line formatting goes through one reused buffer (strconv appends
+	// produce the same text as the former %.17g / %d Fprintf calls, without
+	// the per-line boxing allocations).
+	buf := make([]byte, 0, 96)
 	for _, v := range m.Verts {
-		fmt.Fprintf(bw, "%.17g %.17g %.17g\n", v.X, v.Y, v.Z)
+		buf = strconv.AppendFloat(buf[:0], v.X, 'g', 17, 64)
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, v.Y, 'g', 17, 64)
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, v.Z, 'g', 17, 64)
+		buf = append(buf, '\n')
+		_, _ = bw.Write(buf) // error is sticky; reported by Flush below
 	}
 	for _, el := range m.Elems {
-		if el.Nv() == 3 {
-			fmt.Fprintf(bw, "%d %d %d\n", el.V[0], el.V[1], el.V[2])
-		} else {
-			fmt.Fprintf(bw, "%d %d %d %d\n", el.V[0], el.V[1], el.V[2], el.V[3])
+		buf = strconv.AppendInt(buf[:0], int64(el.V[0]), 10)
+		for k := 1; k < el.Nv(); k++ {
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(el.V[k]), 10)
 		}
+		buf = append(buf, '\n')
+		_, _ = bw.Write(buf) // error is sticky; reported by Flush below
 	}
 	return bw.Flush()
 }

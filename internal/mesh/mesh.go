@@ -10,11 +10,13 @@
 package mesh
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"pared/internal/geom"
+	"pared/internal/kern"
 )
 
 // Dim is the topological dimension of a mesh: 2 (triangles) or 3 (tetrahedra).
@@ -165,19 +167,110 @@ func (m *Mesh) FacetMap() map[FacetKey][2]int32 {
 	return fm
 }
 
-// DualAdjacency returns, for each element, the indices of the elements that
-// share a facet with it (at most Dim+1 neighbors each).
-func (m *Mesh) DualAdjacency() [][]int32 {
-	adj := make([][]int32, m.NumElems())
-	for _, pair := range m.FacetMap() {
-		if pair[1] >= 0 {
-			adj[pair[0]] = append(adj[pair[0]], pair[1])
-			adj[pair[1]] = append(adj[pair[1]], pair[0])
+// facetRec pairs one facet occurrence with the element it belongs to.
+type facetRec struct {
+	key  FacetKey
+	elem int32
+}
+
+// facetGrain is the element-chunk size for parallel facet-record generation.
+const facetGrain = 512
+
+// facetRecords returns every (facet, element) incidence, sorted by facet key
+// then element. Record generation is element-parallel (element e owns slots
+// [e·nf, (e+1)·nf)); the sort groups each facet's incidences into a run of
+// length 1 (boundary) or 2 (interior). This replaces the former map-based
+// FacetMap on the hot paths: the output order is canonical, so consumers
+// iterate deterministically without maporder suppressions.
+func (m *Mesh) facetRecords() []facetRec {
+	nf := m.FacetsPerElem()
+	recs := make([]facetRec, m.NumElems()*nf)
+	kern.For(m.NumElems(), facetGrain, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			for k := 0; k < nf; k++ {
+				recs[e*nf+k] = facetRec{key: m.Facet(e, k), elem: int32(e)}
+			}
 		}
+	})
+	slices.SortFunc(recs, func(a, b facetRec) int {
+		if c := cmp.Compare(a.key[0], b.key[0]); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.key[1], b.key[1]); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.key[2], b.key[2]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.elem, b.elem)
+	})
+	return recs
+}
+
+// InteriorFacetPairs returns the element pairs sharing a facet, each as
+// (smaller element, larger element), sorted by facet key. It panics on
+// non-manifold input (a facet in more than two elements), like FacetMap.
+func (m *Mesh) InteriorFacetPairs() [][2]int32 {
+	recs := m.facetRecords()
+	pairs := make([][2]int32, 0, len(recs)/2)
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].key == recs[i].key {
+			j++
+		}
+		switch j - i {
+		case 1: // boundary facet
+		case 2:
+			pairs = append(pairs, [2]int32{recs[i].elem, recs[i+1].elem})
+		default:
+			panic(fmt.Sprintf("mesh: facet %v shared by more than two elements", recs[i].key))
+		}
+		i = j
 	}
-	for _, a := range adj {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return pairs
+}
+
+// DualAdjacency returns, for each element, the indices of the elements that
+// share a facet with it (at most Dim+1 neighbors each). All neighbor lists
+// share one flat backing array (degree counting + scatter, like a CSR build),
+// so the whole structure costs a handful of allocations; rows are sorted
+// ascending with per-row insertion sorts in parallel chunks.
+func (m *Mesh) DualAdjacency() [][]int32 {
+	n := m.NumElems()
+	pairs := m.InteriorFacetPairs()
+	off := make([]int32, n+1)
+	for _, p := range pairs {
+		off[p[0]+1]++
+		off[p[1]+1]++
 	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	flat := make([]int32, off[n])
+	pos := make([]int32, n)
+	copy(pos, off[:n])
+	for _, p := range pairs {
+		flat[pos[p[0]]] = p[1]
+		pos[p[0]]++
+		flat[pos[p[1]]] = p[0]
+		pos[p[1]]++
+	}
+	adj := make([][]int32, n)
+	kern.For(n, facetGrain, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			row := flat[off[e]:off[e+1]:off[e+1]]
+			for i := 1; i < len(row); i++ {
+				u := row[i]
+				j := i
+				for j > 0 && row[j-1] > u {
+					row[j] = row[j-1]
+					j--
+				}
+				row[j] = u
+			}
+			adj[e] = row
+		}
+	})
 	return adj
 }
 
@@ -185,10 +278,16 @@ func (m *Mesh) DualAdjacency() [][]int32 {
 // together with that element's index.
 func (m *Mesh) BoundaryFacets() map[FacetKey]int32 {
 	out := make(map[FacetKey]int32)
-	for key, pair := range m.FacetMap() {
-		if pair[1] < 0 {
-			out[key] = pair[0]
+	recs := m.facetRecords()
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].key == recs[i].key {
+			j++
 		}
+		if j-i == 1 {
+			out[recs[i].key] = recs[i].elem
+		}
+		i = j
 	}
 	return out
 }
@@ -213,29 +312,94 @@ func (m *Mesh) SharedVertices(parts []int32) int {
 	if len(parts) != m.NumElems() {
 		panic("mesh: parts length mismatch")
 	}
-	// first[v] is the part of the first element seen at v; shared[v] marks a
-	// second distinct part.
-	first := make([]int32, m.NumVerts())
-	for i := range first {
-		first[i] = -1
-	}
-	shared := make([]bool, m.NumVerts())
-	count := 0
-	for e, el := range m.Elems {
-		nv := el.Nv()
-		p := parts[e]
-		for i := 0; i < nv; i++ {
-			v := el.V[i]
-			switch {
-			case first[v] < 0:
-				first[v] = p
-			case first[v] != p && !shared[v]:
-				shared[v] = true
-				count++
+	ne := m.NumElems()
+	nvtx := m.NumVerts()
+	// scanRange folds elements [lo, hi) into (first, shared): first[v] is the
+	// part of the first element of the range incident to v (-1 if none),
+	// shared[v] marks a second distinct part within the range.
+	scanRange := func(first []int32, shared []bool, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			el := m.Elems[e]
+			nv := el.Nv()
+			p := parts[e]
+			for i := 0; i < nv; i++ {
+				v := el.V[i]
+				switch {
+				case first[v] < 0:
+					first[v] = p
+				case first[v] != p:
+					shared[v] = true
+				}
 			}
 		}
 	}
-	return count
+	// The per-vertex (first, shared) state is a fold over elements in order,
+	// and it is associative: chunk states merge in element order to exactly
+	// the serial state. So the element range splits into at most
+	// sharedChunks chunks folded in parallel; the merged count is identical
+	// for any chunking, hence for any GOMAXPROCS.
+	const sharedChunks = 8
+	const sharedMin = 1 << 13
+	nc := kern.Workers()
+	if nc > sharedChunks {
+		nc = sharedChunks
+	}
+	if ne < sharedMin || nc <= 1 {
+		first := make([]int32, nvtx)
+		for i := range first {
+			first[i] = -1
+		}
+		shared := make([]bool, nvtx)
+		scanRange(first, shared, 0, ne)
+		count := 0
+		for _, s := range shared {
+			if s {
+				count++
+			}
+		}
+		return count
+	}
+	grain := (ne + nc - 1) / nc
+	nchunks := kern.NumChunks(ne, grain)
+	firsts := make([][]int32, nchunks)
+	shareds := make([][]bool, nchunks)
+	kern.ForChunks(ne, grain, func(c, lo, hi int) {
+		first := make([]int32, nvtx)
+		for i := range first {
+			first[i] = -1
+		}
+		shared := make([]bool, nvtx)
+		scanRange(first, shared, lo, hi)
+		firsts[c] = first
+		shareds[c] = shared
+	})
+	// Merge chunk states in chunk (= element) order, vertex-parallel.
+	return int(int64(kern.Sum(nvtx, 1<<14, func(lo, hi int) float64 {
+		count := 0
+		for v := lo; v < hi; v++ {
+			p0 := int32(-1)
+			isShared := false
+			for c := 0; c < nchunks && !isShared; c++ {
+				if shareds[c][v] {
+					isShared = true
+					break
+				}
+				f := firsts[c][v]
+				if f < 0 {
+					continue
+				}
+				if p0 < 0 {
+					p0 = f
+				} else if f != p0 {
+					isShared = true
+				}
+			}
+			if isShared {
+				count++
+			}
+		}
+		return float64(count)
+	})))
 }
 
 // ElemVolume returns the area (2D) or volume (3D) of element e.
@@ -330,14 +494,15 @@ func (m *Mesh) Validate() error {
 			return fmt.Errorf("mesh: element %d is degenerate", e)
 		}
 	}
-	// FacetMap panics on facets shared more than twice; convert to error.
+	// InteriorFacetPairs panics on facets shared more than twice; convert to
+	// error.
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("%v", r)
 			}
 		}()
-		m.FacetMap()
+		m.InteriorFacetPairs()
 		return nil
 	}()
 	return err

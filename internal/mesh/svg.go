@@ -1,8 +1,10 @@
 package mesh
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // svgPalette provides distinguishable fill colors for up to 16 parts; larger
@@ -16,6 +18,10 @@ var svgPalette = []string{
 // WriteSVG renders a 2D mesh to SVG. If parts is non-nil, elements are filled
 // by part; otherwise they are drawn unfilled. 3D meshes render their XY
 // projection, which is adequate for eyeballing refinement patterns.
+//
+// The element loop formats into one reused byte buffer behind a bufio.Writer
+// (strconv appends, no fmt), so rendering cost is a handful of allocations
+// regardless of mesh size.
 func (m *Mesh) WriteSVG(w io.Writer, parts []int32, pixels int) error {
 	b := m.Bounds()
 	size := b.Size()
@@ -28,25 +34,36 @@ func (m *Mesh) WriteSVG(w io.Writer, parts []int32, pixels int) error {
 	tx := func(x float64) float64 { return (x - b.Min.X) * scale }
 	ty := func(y float64) float64 { return height - (y-b.Min.Y)*scale }
 
-	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
 		width, height, width, height); err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 160)
 	for e, el := range m.Elems {
 		fill := "none"
 		if parts != nil {
 			fill = svgPalette[int(parts[e])%len(svgPalette)]
 		}
 		nv := 3 // triangles; tets project their first face
-		pts := ""
+		buf = append(buf[:0], `<polygon points="`...)
 		for i := 0; i < nv; i++ {
 			v := m.Verts[el.V[i]]
-			pts += fmt.Sprintf("%.2f,%.2f ", tx(v.X), ty(v.Y))
+			buf = strconv.AppendFloat(buf, tx(v.X), 'f', 2, 64)
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, ty(v.Y), 'f', 2, 64)
+			buf = append(buf, ' ')
 		}
-		if _, err := fmt.Fprintf(w, `<polygon points="%s" fill="%s" stroke="#333" stroke-width="0.3"/>`+"\n", pts, fill); err != nil {
+		buf = append(buf, `" fill="`...)
+		buf = append(buf, fill...)
+		buf = append(buf, `" stroke="#333" stroke-width="0.3"/>`...)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintln(w, "</svg>")
-	return err
+	if _, err := bw.WriteString("</svg>\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

@@ -33,11 +33,56 @@ type Comm struct {
 	size  int
 	world *world
 	// pending holds messages received from the transport but not yet matched
-	// by a Recv (out-of-order tags).
-	pending []message
+	// by a Recv (out-of-order tags). Matched entries are tombstoned in place
+	// (src = consumedSrc) instead of spliced out, so a removal never copies
+	// the queue tail; pendingHead skips the consumed prefix, which makes the
+	// common FIFO drain O(1) per Recv, and the queue compacts when tombstones
+	// outnumber live entries, which keeps scans amortized O(live).
+	pending     []message
+	pendingHead int // first slot that may be live
+	pendingDead int // tombstones at or after pendingHead
 	// collSeq counts collective operations; ranks stay in step because every
 	// rank must call collectives in the same order.
 	collSeq int64
+}
+
+// consumedSrc marks a pending slot whose message was already delivered;
+// real sources are always ≥ 0.
+const consumedSrc = -2
+
+// consumePending tombstones slot i and maintains the head/compaction
+// invariants.
+func (c *Comm) consumePending(i int) {
+	c.pending[i].data = nil // release the payload reference
+	c.pending[i].src = consumedSrc
+	c.pendingDead++
+	if i == c.pendingHead {
+		// Advance past the consumed prefix (the FIFO fast path).
+		for c.pendingHead < len(c.pending) && c.pending[c.pendingHead].src == consumedSrc {
+			c.pendingHead++
+			c.pendingDead--
+		}
+		if c.pendingHead == len(c.pending) {
+			c.pending = c.pending[:0]
+			c.pendingHead = 0
+			c.pendingDead = 0
+			return
+		}
+	}
+	// Out-of-order consumption: compact once tombstones dominate, so each
+	// surviving entry is copied at most O(1) times per generation.
+	if live := len(c.pending) - c.pendingHead - c.pendingDead; c.pendingDead > 16 && c.pendingDead >= live {
+		w := 0
+		for r := c.pendingHead; r < len(c.pending); r++ {
+			if c.pending[r].src != consumedSrc {
+				c.pending[w] = c.pending[r]
+				w++
+			}
+		}
+		c.pending = c.pending[:w]
+		c.pendingHead = 0
+		c.pendingDead = 0
+	}
 }
 
 type world struct {
@@ -78,9 +123,13 @@ func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
 	match := func(m message) bool {
 		return m.tag == tag && m.seq == seq && (src == AnySource || m.src == src)
 	}
-	for i, m := range c.pending {
+	for i := c.pendingHead; i < len(c.pending); i++ {
+		m := c.pending[i]
+		if m.src == consumedSrc {
+			continue
+		}
 		if match(m) {
-			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.consumePending(i)
 			return m.data, m.src
 		}
 		if check.Enabled {

@@ -40,10 +40,14 @@ func (c Config) withDefaults() Config {
 }
 
 // Partition divides g into p parts of approximately equal vertex weight.
+// One contraction scratch threads through every bisection of the recursive
+// decomposition (they run strictly sequentially), so the whole p-way
+// partition reuses a single set of coarsening buffers.
 func Partition(g *graph.Graph, p int, cfg Config) []int32 {
 	cfg = cfg.withDefaults()
+	scratch := new(graph.ContractScratch)
 	return partition.RecursiveBisect(g, p, func(sub *graph.Graph, targets [2]int64, level int) []int32 {
-		return Bisect(sub, targets, cfg, int64(level)*7919)
+		return bisect(scratch, sub, targets, cfg, int64(level)*7919)
 	})
 }
 
@@ -51,6 +55,10 @@ func Partition(g *graph.Graph, p int, cfg Config) []int32 {
 // targets.
 func Bisect(g *graph.Graph, targets [2]int64, cfg Config, salt int64) []int32 {
 	cfg = cfg.withDefaults()
+	return bisect(new(graph.ContractScratch), g, targets, cfg, salt)
+}
+
+func bisect(scratch *graph.ContractScratch, g *graph.Graph, targets [2]int64, cfg Config, salt int64) []int32 {
 	tolW := tol(g, targets, cfg.Eps)
 	if g.N() <= cfg.CoarsenTo {
 		parts := partition.GrowBisection(g, targets[0], cfg.Seed+salt)
@@ -58,13 +66,13 @@ func Bisect(g *graph.Graph, targets [2]int64, cfg Config, salt int64) []int32 {
 		return parts
 	}
 	match := graph.HeavyEdgeMatching(g, cfg.Seed+salt, nil)
-	cg, f2c := graph.Contract(g, match)
+	cg, f2c := graph.ContractInto(g, match, scratch)
 	var parts []int32
 	if cg.N() >= g.N()*19/20 {
 		// Matching stalled (e.g. star graphs); fall back to direct bisection.
 		parts = partition.GrowBisection(g, targets[0], cfg.Seed+salt)
 	} else {
-		cparts := Bisect(cg, targets, cfg, salt+1)
+		cparts := bisect(scratch, cg, targets, cfg, salt+1)
 		parts = make([]int32, g.N())
 		for v := range parts {
 			parts[v] = cparts[f2c[v]]
