@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint assert bench bench-json cover reproduce full-assert clean
+.PHONY: all build test race lint lint-self assert bench bench-json cover reproduce full-assert clean
 
 all: build lint test
 
@@ -16,12 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project-specific static analysis (see internal/lint): map-iteration order
-# in deterministic packages, raw concurrency outside internal/par, float ==,
-# dropped errors, sleeps. Exits non-zero on findings.
+# Project-specific static analysis (see internal/lint), all nine checks:
+# per-file — map-iteration order in deterministic packages, raw concurrency
+# outside internal/par and internal/kern, float ==, dropped errors, sleeps;
+# flow-aware — rank-gated collectives (deadlocks), impure kern bodies,
+# *Scratch aliasing across concurrency, order-dependent float accumulation.
+# -strict-allow additionally fails on suppressions that suppress nothing.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/paredlint ./...
+	$(GO) run ./cmd/paredlint -strict-allow ./...
+
+# The linter linted by itself: internal/lint and cmd/paredlint must satisfy
+# their own rules.
+lint-self:
+	$(GO) run ./cmd/paredlint -strict-allow ./internal/lint ./cmd/paredlint
 
 # Run the test suite with the runtime invariant layer compiled in (mesh
 # conformity, weight bookkeeping, gain-table brute-force cross-checks,

@@ -9,30 +9,54 @@
 //	paredlint ./...                      # whole module (default)
 //	paredlint ./internal/core ./cmd/...  # explicit packages
 //	paredlint -floateq=false ./...       # disable one check
+//	paredlint -json ./...                # one JSON object per finding
+//	paredlint -strict-allow ./...        # stale suppressions are findings
 //
 // Each check is individually toggleable:
 //
-//	-maporder   map iteration order in deterministic packages (default true)
-//	-rawconc    raw concurrency outside internal/par          (default true)
-//	-floateq    ==/!= on floats                               (default true)
-//	-errcheck   dropped error returns                         (default true)
-//	-sleep      time.Sleep as synchronization                 (default true)
+//	-maporder      map iteration order in deterministic packages  (default true)
+//	-rawconc       raw concurrency outside internal/par and kern  (default true)
+//	-floateq       ==/!= on floats                                (default true)
+//	-errcheck      dropped error returns                          (default true)
+//	-sleep         time.Sleep as synchronization                  (default true)
+//	-collective    rank-gated par.Comm collectives (deadlocks)    (default true)
+//	-kernpure      impure kern.For/ForChunks/Sum bodies           (default true)
+//	-scratchalias  *Scratch buffers shared across concurrency     (default true)
+//	-detfloat      order-dependent float accumulation             (default true)
+//
+// Output modes:
+//
+//	-json          emit one {check, file, line, msg, path} object per line
+//	-strict-allow  report //paredlint:allow directives that suppress nothing
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"pared/internal/lint"
 )
+
+// jsonDiag is the machine-readable finding shape of -json mode.
+type jsonDiag struct {
+	Check string   `json:"check"`
+	File  string   `json:"file"`
+	Line  int      `json:"line"`
+	Msg   string   `json:"msg"`
+	Path  []string `json:"path,omitempty"`
+}
 
 func main() {
 	enabled := make(map[string]*bool)
 	for _, c := range lint.AllChecks() {
 		enabled[c.Name] = flag.Bool(c.Name, true, c.Doc)
 	}
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line")
+	strictAllow := flag.Bool("strict-allow", false, "report stale //paredlint:allow directives as findings")
 	flag.Parse()
 
 	var checks []*lint.Check
@@ -60,12 +84,32 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, checks)
+	if *strictAllow {
+		diags = append(diags, lint.StaleAllows(pkgs, checks)...)
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
 			pos.Filename = rel
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Msg)
+		if *jsonOut {
+			if err := enc.Encode(jsonDiag{
+				Check: d.Check,
+				File:  pos.Filename,
+				Line:  pos.Line,
+				Msg:   d.Msg,
+				Path:  d.Path,
+			}); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		msg := d.Msg
+		if len(d.Path) > 1 {
+			msg += " (call path: " + strings.Join(d.Path, " -> ") + ")"
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, msg)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "paredlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

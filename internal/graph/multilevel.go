@@ -224,6 +224,7 @@ func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32)
 	cnt := s.cnt
 	kern.For(ncInt, contractGrain, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
+			//paredlint:allow scratchalias -- chunks write disjoint s.adjBuf/s.ewBuf segments delimited by s.capOff
 			base := int(s.capOff[c])
 			k := 0
 			gather := func(v int32) {
@@ -280,6 +281,7 @@ func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32)
 	cg.EW = make([]int64, nnz)
 	kern.For(ncInt, contractGrain, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
+			//paredlint:allow scratchalias -- chunks only read s, each from its own capOff segment
 			base := int(s.capOff[c])
 			copy(cg.Adj[cg.Xadj[c]:cg.Xadj[c+1]], s.adjBuf[base:base+int(cnt[c])])
 			copy(cg.EW[cg.Xadj[c]:cg.Xadj[c+1]], s.ewBuf[base:base+int(cnt[c])])

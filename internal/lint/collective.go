@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Collective flags par.Comm collectives reachable only under rank-dependent
+// control flow. The MPI-style ordering contract (par.Comm doc): every rank
+// must call collectives in the same order, so a collective gated on Rank()
+// — directly, through a tainted variable, a rank-bounded loop, or the
+// remainder of a block after a rank-gated early return — deadlocks the ranks
+// that skip it. The check is interprocedural: calling a function that
+// (transitively) performs a collective from a rank-guarded region is the
+// same bug two hops removed, and the diagnostic prints the call path.
+//
+// Not flagged: branching on collective RESULTS (AllReduce et al. return the
+// same value on every rank — replicated, not rank-dependent) and anything in
+// internal/par itself, whose collective implementations are necessarily
+// rank-dependent (root vs leaf roles) and are covered by the runtime
+// cross-check (assertSameCollective) instead.
+var Collective = &Check{
+	Name: "collective",
+	Doc:  "par.Comm collectives must not be reachable only under rank-dependent control flow",
+	Run:  runCollective,
+}
+
+func runCollective(p *Pass) {
+	if p.Path == parPath {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			taint := rankTaintedVars(p, fd)
+			cw := &collectiveWalker{p: p, taint: taint}
+			cw.block(fd.Body, nil)
+		}
+	}
+}
+
+// guard describes why a region is rank-dependent, for the diagnostic.
+type guard struct {
+	pos  token.Pos
+	desc string // "branch", "loop bound", "early return"
+}
+
+type collectiveWalker struct {
+	p     *Pass
+	taint map[*types.Var]bool
+}
+
+// block walks the statements of b under the given guard. A rank-gated
+// statement whose body terminates (return/continue/break/panic) promotes the
+// guard onto the REST of the block: `if c.Rank() > 0 { return }` makes every
+// following statement rank-dependent.
+func (cw *collectiveWalker) block(b *ast.BlockStmt, g *guard) {
+	cur := g
+	for _, s := range b.List {
+		cw.stmt(s, cur)
+		if ifs, ok := s.(*ast.IfStmt); ok && cur == nil {
+			if cw.tainted(ifs.Cond) && terminates(ifs.Body) && ifs.Else == nil {
+				cur = &guard{pos: ifs.Cond.Pos(), desc: "early return"}
+			}
+		}
+	}
+}
+
+func (cw *collectiveWalker) stmt(s ast.Stmt, g *guard) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cw.stmt(s.Init, g)
+		}
+		cw.exprs(g, s.Cond)
+		inner := g
+		if inner == nil && cw.tainted(s.Cond) {
+			inner = &guard{pos: s.Cond.Pos(), desc: "branch"}
+		}
+		cw.block(s.Body, inner)
+		if s.Else != nil {
+			cw.stmt(s.Else, inner)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cw.stmt(s.Init, g)
+		}
+		cw.exprs(g, s.Cond)
+		inner := g
+		if inner == nil && s.Cond != nil && cw.tainted(s.Cond) {
+			inner = &guard{pos: s.Cond.Pos(), desc: "loop bound"}
+		}
+		if s.Post != nil {
+			cw.stmt(s.Post, inner)
+		}
+		cw.block(s.Body, inner)
+	case *ast.RangeStmt:
+		cw.exprs(g, s.X)
+		inner := g
+		if inner == nil && cw.tainted(s.X) {
+			inner = &guard{pos: s.X.Pos(), desc: "loop bound"}
+		}
+		cw.block(s.Body, inner)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cw.stmt(s.Init, g)
+		}
+		cw.exprs(g, s.Tag)
+		inner := g
+		if inner == nil && s.Tag != nil && cw.tainted(s.Tag) {
+			inner = &guard{pos: s.Tag.Pos(), desc: "branch"}
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseGuard := inner
+			if caseGuard == nil {
+				for _, e := range cc.List {
+					if cw.tainted(e) {
+						caseGuard = &guard{pos: e.Pos(), desc: "branch"}
+						break
+					}
+				}
+			}
+			for _, cs := range cc.Body {
+				cw.stmt(cs, caseGuard)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cw.stmt(s.Init, g)
+		}
+		for _, c := range s.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				cw.stmt(cs, g)
+			}
+		}
+	case *ast.BlockStmt:
+		cw.block(s, g)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			for _, cs := range c.(*ast.CommClause).Body {
+				cw.stmt(cs, g)
+			}
+		}
+	case *ast.LabeledStmt:
+		cw.stmt(s.Stmt, g)
+	case *ast.ExprStmt:
+		cw.exprs(g, s.X)
+	case *ast.AssignStmt:
+		cw.exprs(g, s.Rhs...)
+		cw.exprs(g, s.Lhs...)
+	case *ast.ReturnStmt:
+		cw.exprs(g, s.Results...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					cw.exprs(g, vs.Values...)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		cw.exprs(g, s.Call)
+	case *ast.DeferStmt:
+		cw.exprs(g, s.Call)
+	case *ast.SendStmt:
+		cw.exprs(g, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		cw.exprs(g, s.X)
+	}
+}
+
+// exprs scans expressions for collective calls (reporting guarded ones) and
+// walks any function literals inline under the current guard — a literal
+// invoked here (timed(func(){…}), defer func(){…}()) runs in this control
+// context.
+func (cw *collectiveWalker) exprs(g *guard, es ...ast.Expr) {
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				cw.block(x.Body, g)
+				return false
+			case *ast.CallExpr:
+				if g != nil {
+					cw.checkCall(x, g)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCall reports a guarded call that is or reaches a collective.
+func (cw *collectiveWalker) checkCall(call *ast.CallExpr, g *guard) {
+	fn := calleeOf(cw.p.Info, call)
+	if fn == nil {
+		return
+	}
+	gline := cw.p.Fset.Position(g.pos).Line
+	if isCollective(fn) {
+		cw.p.Reportf(call.Pos(),
+			"collective %s is reachable only under rank-dependent control (%s at line %d): every rank must call collectives in the same order",
+			displayName(fn), g.desc, gline)
+		return
+	}
+	// Don't double-report Rank()/Size() or non-collective par plumbing.
+	if _, isComm := isCommMethod(fn); isComm {
+		return
+	}
+	if t := cw.p.Prog.EffectOf(fn, EffCollective); t != nil {
+		path := cw.p.Prog.PathOf(fn, EffCollective)
+		cw.p.ReportPathf(call.Pos(), path,
+			"call to %s reaches collective %s under rank-dependent control (%s at line %d): every rank must call collectives in the same order",
+			displayName(fn), lastOf(path), g.desc, gline)
+	}
+}
+
+func lastOf(path []string) string {
+	if len(path) == 0 {
+		return "?"
+	}
+	return path[len(path)-1]
+}
+
+// tainted reports whether e depends on the calling rank.
+func (cw *collectiveWalker) tainted(e ast.Expr) bool {
+	return exprRankTainted(cw.p, e, cw.taint)
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetFloat flags float accumulation whose rounding depends on an
+// unpredictable evaluation order — the bug class that silently breaks the
+// bit-reproducibility the determinism tests assert. Two sites:
+//
+//   - inside `range` over a map: Go randomizes map iteration, so
+//     `sum += m[k]` yields a different last-bit result every run. Exempt:
+//     accumulation into per-iteration locations (an element keyed by the
+//     iteration variables — one update per key, order invisible) and into
+//     variables declared inside the loop. The rule is interprocedural:
+//     passing &sum to a helper that accumulates through the pointer is the
+//     same bug one hop removed.
+//
+//   - inside kern bodies: chunks run concurrently, so accumulating into a
+//     captured scalar float folds partials in scheduling order (besides
+//     racing). Element updates into captured slices are exempt here — their
+//     disjointness is kernpure's business; the ordered fold belongs in
+//     kern.Sum, which is what the diagnostic points at.
+//
+// Unlike maporder (deterministic packages only, all order sensitivity),
+// detfloat runs everywhere: float rounding has no safe package.
+var DetFloat = &Check{
+	Name: "detfloat",
+	Doc:  "no order-dependent float accumulation: map-range sums and captured scalars in kern bodies",
+	Run:  runDetFloat,
+}
+
+func runDetFloat(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bindings := litBindings(p, fd)
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.RangeStmt:
+					if t := p.TypeOf(x.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							detFloatMapRange(p, x)
+						}
+					}
+				case *ast.CallExpr:
+					if isKernEntry(calleeOf(p.Info, x)) && len(x.Args) > 0 {
+						if lit := resolveBodyArg(p, x.Args[len(x.Args)-1], bindings); lit != nil {
+							detFloatKernBody(p, lit)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// detFloatMapRange checks one map-range loop. derived holds variables that
+// are pure functions of the current iteration (range variables, locals
+// defined from them, nested non-map range variables) — indexing by them
+// addresses per-iteration state.
+func detFloatMapRange(p *Pass, rs *ast.RangeStmt) {
+	derived := p.rangeVarObjects(rs)
+	keyed := func(e ast.Expr) bool {
+		return p.dependsOnlyOn(e, func(v *types.Var) bool { return derived[v] })
+	}
+	// Grow derived to a fixed point over := definitions and nested ranges.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rs.Body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && keyed(x.Rhs[i]) {
+						if v, ok := p.Info.Defs[id].(*types.Var); ok && !derived[v] {
+							derived[v] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if x != rs && keyed(x.X) {
+					for v := range p.rangeVarObjects(x) {
+						if !derived[v] {
+							derived[v] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	declaredInside := func(v *types.Var) bool {
+		return v != nil && v.Pos() >= rs.Pos() && v.Pos() <= rs.End()
+	}
+	// An accumulation target is exempt when its variable lives inside the
+	// loop or the lvalue chain is addressed by the iteration: every index
+	// iteration-keyed and at least one actually reading an iteration-derived
+	// variable (a constant index names the SAME slot every iteration).
+	derivedRef := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if v, ok := p.Info.Uses[id].(*types.Var); ok && derived[v] {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	checkTarget := func(lhs ast.Expr) {
+		if !isFloatExpr(p.Info, lhs) {
+			return
+		}
+		v := varOf(p.Info, lhs2root(lhs))
+		if v == nil || declaredInside(v) {
+			return
+		}
+		sawDerived, allKeyed := false, true
+		for e := lhs; ; {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				if !keyed(x.Index) {
+					allKeyed = false
+				}
+				if derivedRef(x.Index) {
+					sawDerived = true
+				}
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				if sawDerived && allKeyed {
+					return
+				}
+				p.Reportf(lhs.Pos(),
+					"float accumulation into %s in map-iteration order: map order is randomized, sort the keys first or accumulate into iteration-keyed slots", v.Name())
+				return
+			}
+		}
+	}
+
+	ast.Inspect(rs.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.RangeStmt:
+			if t := p.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && x != rs {
+					return false // nested map range is its own finding
+				}
+			}
+		case *ast.FuncLit:
+			return false // not necessarily run per iteration
+		case *ast.AssignStmt:
+			if lhs, ok := accumAssign(p.Info, x); ok {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(x.X)
+		case *ast.CallExpr:
+			detFloatAccCall(p, x, func(v *types.Var) bool { return declaredInside(v) })
+		}
+		return true
+	})
+}
+
+// detFloatAccCall flags passing a pointer to an outer float into a callee
+// that (transitively) accumulates through that parameter.
+func detFloatAccCall(p *Pass, call *ast.CallExpr, exempt func(*types.Var) bool) {
+	fn := calleeOf(p.Info, call)
+	if fn == nil {
+		return
+	}
+	for j, arg := range call.Args {
+		ue, ok := unparen(arg).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			continue
+		}
+		v := varOf(p.Info, ue.X)
+		if v == nil || exempt(v) || !isFloatExpr(p.Info, ue.X) {
+			continue
+		}
+		if p.Prog.FloatAccParam(fn, j) {
+			p.Reportf(arg.Pos(),
+				"%s accumulates into %s through this pointer in map-iteration order: map order is randomized", displayName(fn), v.Name())
+		}
+	}
+}
+
+// detFloatKernBody flags captured scalar float accumulation inside a kern
+// body: partials folded in scheduling order (and racing). The fix the
+// message points at is kern.Sum's ordered reduction.
+func detFloatKernBody(p *Pass, lit *ast.FuncLit) {
+	captured := func(v *types.Var) bool { return isCapturedBy(lit, v) }
+	checkTarget := func(lhs ast.Expr) {
+		if !isFloatExpr(p.Info, lhs) {
+			return
+		}
+		if _, isIndex := unparen(lhs).(*ast.IndexExpr); isIndex {
+			return // element update; kernpure owns disjointness
+		}
+		v := varOf(p.Info, lhs2root(lhs))
+		if v != nil && captured(v) {
+			p.Reportf(lhs.Pos(),
+				"float accumulation into captured %s inside kern body: fold per-chunk partials with kern.Sum instead", v.Name())
+		}
+	}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if lhs, ok := accumAssign(p.Info, x); ok {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(x.X)
+		case *ast.CallExpr:
+			fn := calleeOf(p.Info, x)
+			if fn == nil {
+				return true
+			}
+			for j, arg := range x.Args {
+				ue, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				v := varOf(p.Info, ue.X)
+				if v != nil && captured(v) && isFloatExpr(p.Info, ue.X) && p.Prog.FloatAccParam(fn, j) {
+					p.Reportf(arg.Pos(),
+						"float accumulation into captured %s inside kern body (through %s): fold per-chunk partials with kern.Sum instead", v.Name(), displayName(fn))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -17,6 +17,24 @@
 //	errcheck — no silently dropped error return values
 //	sleep    — no time.Sleep used as synchronization in library code
 //
+// On top of the per-file checks sits a whole-program, type- and flow-aware
+// layer (callgraph.go, flow.go) with four more checks:
+//
+//	collective   — a par.Comm collective reachable only under rank-dependent
+//	               control flow (branch, loop bound, early return) is a
+//	               deadlock: every rank must call collectives in the same
+//	               order. Traced interprocedurally with a call path.
+//	kernpure     — closures passed to kern.For/ForChunks/Sum may write only
+//	               chunk-owned locations: no captured-variable writes outside
+//	               chunk-derived indices, no appends to shared slices, no
+//	               par/sync/channel use, no nested kern.
+//	scratchalias — a *Scratch work buffer is strictly sequential: flagged
+//	               when captured by a concurrent closure, sent across ranks,
+//	               or passed twice to one call.
+//	detfloat     — float accumulation in map-iteration order or inside kern
+//	               bodies (outside kern.Sum's ordered reducer) breaks
+//	               bit-reproducibility.
+//
 // The analyzer is stdlib-only (go/parser, go/ast, go/types); see
 // cmd/paredlint for the command-line driver.
 //
@@ -36,15 +54,22 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned at file:line:col.
+// Diagnostic is one finding, positioned at file:line:col. Path, when
+// non-empty, is the call chain (caller first) through which a flow-aware
+// check reached the fact it is reporting.
 type Diagnostic struct {
 	Pos   token.Position
 	Check string
 	Msg   string
+	Path  []string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+	if len(d.Path) > 1 {
+		s += " (call path: " + strings.Join(d.Path, " -> ") + ")"
+	}
+	return s
 }
 
 // Check is one analyzer. Run inspects a single package and reports findings
@@ -55,9 +80,11 @@ type Check struct {
 	Run  func(p *Pass)
 }
 
-// AllChecks lists every check in the suite, in reporting order.
+// AllChecks lists every check in the suite, in reporting order. The first
+// five are the per-file syntactic checks; the last four are the flow-aware
+// checks built on the whole-program call graph (see callgraph.go).
 func AllChecks() []*Check {
-	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep}
+	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep, Collective, KernPure, ScratchAlias, DetFloat}
 }
 
 // Package is one loaded, type-checked package.
@@ -72,8 +99,16 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	// allows maps filename → line → check names suppressed on that line.
-	allows map[string]map[int][]string
+	// allows maps filename → line → suppressions declared on that line.
+	allows map[string]map[int][]*allowEntry
+}
+
+// allowEntry is one check name from one paredlint:allow directive. used
+// flips when a finding is suppressed by it, so unused (stale) directives can
+// be reported under -strict-allow.
+type allowEntry struct {
+	check string
+	used  bool
 }
 
 // InTestdata reports whether the package was loaded from a testdata tree
@@ -102,7 +137,7 @@ var directiveRE = regexp.MustCompile(`^//\s*paredlint:allow\s+([a-z, ]+?)\s*(?:-
 
 // buildAllows scans file comments for paredlint:allow directives.
 func (p *Package) buildAllows() {
-	p.allows = make(map[string]map[int][]string)
+	p.allows = make(map[string]map[int][]*allowEntry)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -113,13 +148,13 @@ func (p *Package) buildAllows() {
 				pos := p.Fset.Position(c.Pos())
 				byLine := p.allows[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]*allowEntry)
 					p.allows[pos.Filename] = byLine
 				}
 				for _, name := range strings.Split(m[1], ",") {
 					name = strings.TrimSpace(name)
 					if name != "" {
-						byLine[pos.Line] = append(byLine[pos.Line], name)
+						byLine[pos.Line] = append(byLine[pos.Line], &allowEntry{check: name})
 					}
 				}
 			}
@@ -128,15 +163,16 @@ func (p *Package) buildAllows() {
 }
 
 // allowed reports whether check name is suppressed at pos (directive on the
-// same line or the line immediately above).
+// same line or the line immediately above), marking the matching entry used.
 func (p *Package) allowed(name string, pos token.Position) bool {
 	byLine := p.allows[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, n := range byLine[line] {
-			if n == name {
+		for _, e := range byLine[line] {
+			if e.check == name {
+				e.used = true
 				return true
 			}
 		}
@@ -144,15 +180,51 @@ func (p *Package) allowed(name string, pos token.Position) bool {
 	return false
 }
 
-// Pass is the per-(check, package) reporting context.
+// StaleAllows reports, for the checks that actually ran, every allow entry no
+// finding used: a suppression with nothing to suppress is dead weight that
+// hides future regressions. Call after Run; findings come back as "allow"
+// diagnostics (the -strict-allow mode of cmd/paredlint).
+func StaleAllows(pkgs []*Package, checks []*Check) []Diagnostic {
+	ran := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		ran[c.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for file, byLine := range pkg.allows {
+			for line, entries := range byLine {
+				for _, e := range entries {
+					if !e.used && ran[e.check] {
+						diags = append(diags, Diagnostic{
+							Pos:   token.Position{Filename: file, Line: line, Column: 1},
+							Check: "allow",
+							Msg:   fmt.Sprintf("stale suppression: no %s finding on this line or the line below", e.check),
+						})
+					}
+				}
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// Pass is the per-(check, package) reporting context. Prog is the shared
+// whole-program call graph (nil only if a caller bypasses Run).
 type Pass struct {
 	*Package
+	Prog  *Program
 	check *Check
 	out   *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos unless a directive suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPathf(pos, nil, format, args...)
+}
+
+// ReportPathf is Reportf carrying the call path that witnesses the finding.
+func (p *Pass) ReportPathf(pos token.Pos, path []string, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allowed(p.check.Name, position) {
 		return
@@ -161,6 +233,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:   position,
 		Check: p.check.Name,
 		Msg:   fmt.Sprintf(format, args...),
+		Path:  path,
 	})
 }
 
@@ -188,17 +261,24 @@ func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
 }
 
 // Run executes the given checks over the packages and returns all findings
-// sorted by position.
+// sorted by position. The whole-program call graph is built once and shared
+// by every pass.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if pkg.allows == nil {
 			pkg.buildAllows()
 		}
 		for _, c := range checks {
-			c.Run(&Pass{Package: pkg, check: c, out: &diags})
+			c.Run(&Pass{Package: pkg, Prog: prog, check: c, out: &diags})
 		}
 	}
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -212,5 +292,4 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
 }

@@ -32,6 +32,10 @@ func TestFixtures(t *testing.T) {
 		{FloatEq, "floateq"},
 		{ErrCheck, "errcheck"},
 		{Sleep, "sleep"},
+		{Collective, "collective"},
+		{KernPure, "kernpure"},
+		{ScratchAlias, "scratchalias"},
+		{DetFloat, "detfloat"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check.Name, func(t *testing.T) {

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchAlias guards the caller-owned work-buffer convention: a value of a
+// named *Scratch type (graph.ContractScratch, core.klScratch, la.CGScratch,
+// …) is strictly sequential scratch memory — reusable across calls precisely
+// because no two uses overlap in time. Flagged:
+//
+//   - a scratch captured by a closure that runs concurrently: a kern body,
+//     a `go` statement, or the rank function passed to par.Run;
+//   - a scratch sent across ranks through a par.Comm method (payloads are
+//     delivered by reference; the receiver would alias the sender's buffers);
+//   - the same scratch identifier passed twice in one call (two callees
+//     scribbling over one buffer);
+//   - a concurrent closure calling a function that (transitively) touches a
+//     package-level scratch variable — the interprocedural variant, with the
+//     call path reported.
+//
+// Sequential reuse — the whole point of the convention — is never flagged.
+var ScratchAlias = &Check{
+	Name: "scratchalias",
+	Doc:  "*Scratch work buffers are sequential: no capture by concurrent closures, no cross-rank sends, no double-passing",
+	Run:  runScratchAlias,
+}
+
+func runScratchAlias(p *Pass) {
+	if p.Path == parPath || p.Path == kernPath {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				scratchCall(p, x)
+			case *ast.GoStmt:
+				if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					scratchConcurrentLit(p, lit, "a goroutine closure")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scratchCall handles the call-site rules: concurrent-closure arguments,
+// cross-rank sends, and double-passing.
+func scratchCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeOf(p.Info, call)
+
+	// Closure handed to a concurrent executor.
+	if fn != nil {
+		var context string
+		switch {
+		case isKernEntry(fn):
+			context = "a kern body"
+		case fn.Pkg() != nil && fn.Pkg().Path() == parPath && fn.Name() == "Run":
+			context = "the par.Run rank function"
+		}
+		if context != "" {
+			for _, arg := range call.Args {
+				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+					scratchConcurrentLit(p, lit, context)
+				}
+			}
+		}
+	}
+
+	// Scratch referenced in a par.Comm call's arguments crosses ranks.
+	if name, isComm := isCommMethod(fn); isComm && name != "Rank" && name != "Size" {
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(y ast.Node) bool {
+				id, ok := y.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v, ok := p.Info.Uses[id].(*types.Var); ok && isScratchType(v.Type()) {
+					p.Reportf(id.Pos(), "scratch %s sent across ranks via par.(*Comm).%s: the receiver would alias this rank's buffers", v.Name(), name)
+				}
+				return true
+			})
+		}
+	}
+
+	// Same scratch identifier passed twice in one argument list.
+	seen := make(map[*types.Var]bool)
+	for _, arg := range call.Args {
+		v := varOf(p.Info, arg)
+		if v == nil || !isScratchType(v.Type()) {
+			continue
+		}
+		if seen[v] {
+			p.Reportf(arg.Pos(), "scratch %s passed twice in one call: both callees would scribble over the same buffers", v.Name())
+		}
+		seen[v] = true
+	}
+}
+
+// scratchConcurrentLit flags scratch values visible inside a closure that
+// runs concurrently, and calls from it that reach package-level scratch.
+func scratchConcurrentLit(p *Pass, lit *ast.FuncLit, context string) {
+	reported := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.Ident:
+			v, ok := p.Info.Uses[x].(*types.Var)
+			if !ok || !isScratchType(v.Type()) || reported[v] {
+				return true
+			}
+			if isCapturedBy(lit, v) {
+				reported[v] = true
+				p.Reportf(x.Pos(), "scratch %s captured by %s: scratch buffers are sequential, give each chunk or rank its own", v.Name(), context)
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(p.Info, x)
+			if fn == nil {
+				return true
+			}
+			if t := p.Prog.EffectOf(fn, EffScratchGlobal); t != nil {
+				path := p.Prog.PathOf(fn, EffScratchGlobal)
+				p.ReportPathf(x.Pos(), path, "%s calls %s which reaches %s: scratch buffers are sequential, give each chunk or rank its own", context, displayName(fn), lastOf(path))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,38 @@
+// Package allowedge is a paredlint fixture for the //paredlint:allow edge
+// cases exercised by TestAllowEdgeCases: a directive on the wrong line (the
+// finding survives and the directive goes stale), a multi-check directive
+// suppressing two checks on one line, and a directive with no matching
+// finding at all.
+package allowedge
+
+import "time"
+
+// wrongLine: the directive is two lines above the call; allow only works on
+// the same line or the line immediately above, so the finding stands and the
+// directive is stale.
+func wrongLine() {
+	//paredlint:allow sleep -- wrong line: too far from the call to apply
+
+	time.Sleep(time.Millisecond)
+}
+
+// edgeScratch follows the *Scratch naming convention so the line below can
+// trigger scratchalias.
+type edgeScratch struct {
+	buf []float64
+}
+
+// multiAllow: the one-line go statement triggers both rawconc (raw goroutine
+// outside the audited packages) and scratchalias (scratch captured by a
+// goroutine closure); one multi-check directive covers both.
+func multiAllow(s *edgeScratch) {
+	//paredlint:allow rawconc,scratchalias -- deliberate: TestAllowEdgeCases wants both suppressed by one directive
+	go func() { s.buf[0] = 1 }()
+}
+
+// staleOnly: nothing here can trigger floateq, so this directive is reported
+// by StaleAllows.
+func staleOnly() int {
+	//paredlint:allow floateq -- stale on purpose: no floateq finding below
+	return 0
+}

@@ -1,0 +1,69 @@
+// Package collective is a paredlint fixture for the collective check:
+// par.Comm collectives reachable only under rank-dependent control flow.
+package collective
+
+import "pared/internal/par"
+
+// gatedBranch: the root deadlocks everyone else.
+func gatedBranch(c *par.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want "reachable only under rank-dependent control .branch"
+	}
+}
+
+// gatedEarlyReturn: ranks > 0 leave before the collective.
+func gatedEarlyReturn(c *par.Comm) {
+	if c.Rank() > 0 {
+		return
+	}
+	c.Barrier() // want "reachable only under rank-dependent control .early return"
+}
+
+// gatedLoop: rank r calls Gather r times — the counts diverge.
+func gatedLoop(c *par.Comm) {
+	me := c.Rank()
+	for i := 0; i < me; i++ {
+		c.Gather(0, i) // want "reachable only under rank-dependent control .loop bound"
+	}
+}
+
+// gatedIndirect is the interprocedural positive: the Barrier is two calls
+// away and only the call graph makes the bug visible.
+func gatedIndirect(c *par.Comm) {
+	if c.Rank() == 0 {
+		doSync(c) // want "reaches collective .*Barrier under rank-dependent control"
+	}
+}
+
+func doSync(c *par.Comm) {
+	deepSync(c)
+}
+
+func deepSync(c *par.Comm) {
+	c.Barrier()
+}
+
+// okRootWork: rank-gated LOCAL work followed by an unconditional collective
+// is the canonical correct pattern (engine P2/P3) — no finding.
+func okRootWork(c *par.Comm, reps []any) any {
+	var plan any
+	if c.Rank() == 0 {
+		plan = len(reps)
+	}
+	return c.Bcast(0, plan)
+}
+
+// okReplicated: AllReduce results are identical on every rank, so branching
+// on them keeps the collective sequence in lockstep — no finding.
+func okReplicated(c *par.Comm, doit int64) {
+	if c.AllReduceMax(doit) > 0 {
+		c.Barrier()
+	}
+}
+
+// okSizeLoop: Size() is the same on every rank — no finding.
+func okSizeLoop(c *par.Comm) {
+	for i := 0; i < c.Size(); i++ {
+		c.Bcast(i, i)
+	}
+}
