@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self assert bench bench-json cover reproduce full-assert clean
+.PHONY: all build test race lint lint-self assert bench bench-json bench-guard cover reproduce full-assert clean
 
 all: build lint test
 
@@ -45,6 +45,17 @@ bench:
 # diffing after makes the repo's performance trajectory reviewable.
 bench-json:
 	$(GO) run ./cmd/pnrbench -exp all -quick -json BENCH_pnr.json > /dev/null
+
+# Regression guard over the committed baseline: two fresh quick runs, scored
+# best-of-2, must stay within 20% of BENCH_pnr.json on the guarded
+# experiments (see cmd/benchguard). CI runs this on every PR.
+bench-guard:
+	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard1.json > /dev/null
+	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard2.json > /dev/null
+	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard3.json > /dev/null
+	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard4.json > /dev/null
+	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient \
+		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json /tmp/benchguard4.json
 
 cover:
 	$(GO) test ./internal/... -coverprofile=cover.out

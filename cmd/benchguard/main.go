@@ -1,0 +1,109 @@
+// Command benchguard compares fresh pnrbench -json runs against the
+// committed BENCH_pnr.json baseline and fails (exit 1) when a guarded
+// experiment's wall time regresses beyond the allowed fraction. CI runs it
+// after the test suite so a change that quietly gives back the repartitioning
+// pipeline's performance is caught in review, not discovered months later.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_pnr.json -records fig4,transient -max-regress 0.20 run1.json [run2.json ...]
+//
+// Several candidate files may be given; the guard scores each record by the
+// fastest run, which filters scheduler noise the way best-of-N benchmarking
+// does. Guarded records missing from the baseline pass (first benchmark of a
+// new experiment); records missing from every candidate fail, because a
+// silently skipped experiment must not look like a fast one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type benchRecord struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+type benchReport struct {
+	Records []benchRecord `json:"records"`
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(rep.Records))
+	for _, r := range rep.Records {
+		out[r.Name] = r.WallMs
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pnr.json", "committed baseline report")
+	records := flag.String("records", "fig4,transient", "comma-separated experiment names to guard")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional wall-time regression")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: need at least one candidate report (pnrbench -json output)")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	best := make(map[string]float64)
+	for _, path := range flag.Args() {
+		cand, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		for name, ms := range cand {
+			if old, ok := best[name]; !ok || ms < old {
+				best[name] = ms
+			}
+		}
+	}
+
+	failed := false
+	for _, name := range strings.Split(*records, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		baseMs, ok := base[name]
+		if !ok {
+			fmt.Printf("benchguard: %-12s no baseline, skipping\n", name)
+			continue
+		}
+		candMs, ok := best[name]
+		if !ok {
+			fmt.Printf("benchguard: %-12s MISSING from candidate runs\n", name)
+			failed = true
+			continue
+		}
+		delta := candMs/baseMs - 1
+		verdict := "ok"
+		if delta > *maxRegress {
+			verdict = fmt.Sprintf("REGRESSION (limit +%.0f%%)", *maxRegress*100)
+			failed = true
+		}
+		fmt.Printf("benchguard: %-12s baseline %8.1fms  candidate %8.1fms  %+6.1f%%  %s\n",
+			name, baseMs, candMs, delta*100, verdict)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -37,6 +37,13 @@ type benchRecord struct {
 	WallMs     float64 `json:"wall_ms"`
 	Allocs     uint64  `json:"allocs"`
 	AllocBytes uint64  `json:"alloc_bytes"`
+	// Engine-phase breakdown (engine experiment only): coordinator wall time
+	// in P1 (local weights), P2 (gather) and P3 (repartition + migrate), and
+	// which rebalance pipeline ran ("incremental" or "scratch").
+	P1Ms          float64 `json:"p1_ms,omitempty"`
+	P2Ms          float64 `json:"p2_ms,omitempty"`
+	P3Ms          float64 `json:"p3_ms,omitempty"`
+	RebalanceMode string  `json:"rebalance_mode,omitempty"`
 }
 
 // benchReport is the -json output: run metadata plus one record per
@@ -57,6 +64,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	svg := flag.String("svg", "", "directory for SVG mesh renderings (fig1, transient)")
 	jsonOut := flag.String("json", "", "write per-experiment wall time and allocation stats to this JSON file")
+	scratch := flag.Bool("scratch", false, "run the engine experiment on the from-scratch rebalance pipeline instead of the incremental one")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -118,7 +126,15 @@ func main() {
 	run("transient3d", func() { experiments.Transient3D(w, scale) })
 	run("bound8", func() { experiments.Section8(w, scale) })
 	run("thm61", func() { experiments.Theorem61(w, scale) })
-	run("engine", func() { experiments.EngineDemo(w, scale) })
+	var enginePhases experiments.EnginePhases
+	run("engine", func() { enginePhases = experiments.EngineDemo(w, scale, *scratch) })
+	for i := range report.Records {
+		if report.Records[i].Name == "engine" {
+			r := &report.Records[i]
+			r.P1Ms, r.P2Ms, r.P3Ms = enginePhases.P1Ms, enginePhases.P2Ms, enginePhases.P3Ms
+			r.RebalanceMode = enginePhases.Mode
+		}
+	}
 	run("ablation", func() { experiments.Ablation(w, scale) })
 	run("geo", func() { experiments.GeoComparison(w, scale) })
 	run("diffusion", func() { experiments.DiffusionComparison(w, scale) })

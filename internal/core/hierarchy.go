@@ -1,0 +1,252 @@
+package core
+
+import (
+	"pared/internal/check"
+	"pared/internal/graph"
+)
+
+// Hierarchy caches the multilevel structure of Repartition across calls on a
+// graph whose TOPOLOGY is fixed while its weights evolve — exactly the coarse
+// dual graph G of an adaptive mesh, whose vertex set (coarse elements) and
+// edge set (coarse facet adjacency) never change after bootstrap. Heavy-edge
+// matching and contraction depend on weights only through tie-breaking and
+// the same-part restriction, so successive epochs usually produce near-
+// identical hierarchies at full re-matching cost. The cache keeps, per
+// V-cycle and level, the fine→coarse map, the coarse CSR topology, and a
+// fine-edge-slot → coarse-edge-slot map; a reuse epoch then re-aggregates the
+// new weights through the cached maps in one linear pass instead of
+// re-matching and re-contracting.
+//
+// Reuse is validated level by level: a cached matching is only replayed if
+// every matched pair still shares its current part and migration origin (the
+// PNR invariant that makes coarse assignments unambiguous) and stays under
+// the contraction weight cap. The first invalid level evicts itself and
+// everything deeper, and fresh matching resumes from there. A full re-match
+// of all cycles is forced when the accumulated vertex-weight drift exceeds
+// Config.DriftFrac, every Config.RematchEvery-th call, or when the graph
+// shape or part count changes — so partition quality cannot decay unboundedly.
+//
+// With RematchEvery = 1 every call rebuilds everything and the result is
+// byte-identical to running without a cache (recording does not perturb the
+// algorithm). A Hierarchy must not be shared between concurrently running
+// Repartition calls.
+type Hierarchy struct {
+	n, m, p int
+	epoch   int     // calls since the last full rebuild
+	builtVW []int64 // fine vertex weights at the last full rebuild
+	cycles  [][]*hierLevel
+	// checkXadj/checkAdj hold a copy of the fine topology under paredassert
+	// so reuse against a mutated graph fails loudly instead of silently.
+	checkXadj, checkAdj []int32
+	// Stats accumulates what the cache did, for traces and tests.
+	Stats HierarchyStats
+}
+
+// HierarchyStats counts cache activity across Repartition calls.
+type HierarchyStats struct {
+	// Calls counts Repartition invocations that saw this cache.
+	Calls int
+	// FlatCalls counts invocations that ran flat (no multilevel hierarchy).
+	FlatCalls int
+	// FullRebuilds counts drift-triggered (or first-call) full re-matches.
+	FullRebuilds int
+	// LevelsReused / LevelsRebuilt count per-level outcomes.
+	LevelsReused, LevelsRebuilt int
+}
+
+// NewHierarchy returns an empty cache, ready to pass as Config.Hierarchy.
+func NewHierarchy() *Hierarchy { return new(Hierarchy) }
+
+// hierLevel is one cached contraction: everything needed to rebuild the
+// coarse graph from fresh fine weights without re-matching.
+type hierLevel struct {
+	f2c     []int32 // fine vertex → coarse vertex
+	xadj    []int32 // coarse CSR offsets
+	adj     []int32 // coarse CSR adjacency (ascending per row)
+	edgeMap []int32 // fine CSR slot → coarse CSR slot, -1 for intra-pair edges
+	nc      int
+}
+
+// hierCursor walks one cycle's cached levels during the multilevel descent.
+// Once a level fails validation the cursor breaks: that level and everything
+// deeper are evicted and re-recorded from fresh matchings.
+type hierCursor struct {
+	h      *Hierarchy
+	levels *[]*hierLevel
+	li     int
+	broken bool
+}
+
+// prepare applies the full-rebuild triggers for one non-flat Repartition call
+// and returns per-cycle cursors (nil when no cache is configured).
+func (h *Hierarchy) prepare(g *graph.Graph, p int, cfg Config, cycles int) []*hierCursor {
+	if h == nil {
+		return nil
+	}
+	h.Stats.Calls++
+	if h.builtVW == nil || h.n != g.N() || h.m != len(g.Adj) || h.p != p ||
+		h.epoch+1 >= cfg.RematchEvery || h.drift(g.VW) > cfg.DriftFrac {
+		h.reset(g, p)
+	} else {
+		h.epoch++
+	}
+	if check.Enabled {
+		h.checkTopology(g)
+	}
+	for len(h.cycles) < cycles {
+		h.cycles = append(h.cycles, nil)
+	}
+	cur := make([]*hierCursor, cycles)
+	for i := range cur {
+		cur[i] = &hierCursor{h: h, levels: &h.cycles[i]}
+	}
+	return cur
+}
+
+// drift returns Σ|VW − builtVW| / ΣbuiltVW.
+func (h *Hierarchy) drift(vw []int64) float64 {
+	var num, den int64
+	for i, w := range h.builtVW {
+		d := w - vw[i]
+		if d < 0 {
+			d = -d
+		}
+		num += d
+		den += w
+	}
+	if den == 0 {
+		den = 1
+	}
+	return float64(num) / float64(den)
+}
+
+// reset evicts every cached level and snapshots the weights the next drift
+// measurement is relative to.
+func (h *Hierarchy) reset(g *graph.Graph, p int) {
+	h.n, h.m, h.p = g.N(), len(g.Adj), p
+	h.builtVW = append(h.builtVW[:0], g.VW...)
+	h.cycles = h.cycles[:0]
+	h.epoch = 0
+	h.Stats.FullRebuilds++
+	if check.Enabled {
+		h.checkXadj = append(h.checkXadj[:0], g.Xadj...)
+		h.checkAdj = append(h.checkAdj[:0], g.Adj...)
+	}
+}
+
+// checkTopology asserts the fine topology still matches what the cache was
+// built from — the invariant the whole scheme rests on.
+func (h *Hierarchy) checkTopology(g *graph.Graph) {
+	check.Assertf(len(h.checkXadj) == len(g.Xadj) && len(h.checkAdj) == len(g.Adj),
+		"core: Hierarchy reused across graphs of different shape")
+	for i, x := range h.checkXadj {
+		check.Assertf(g.Xadj[i] == x, "core: Hierarchy topology drift at Xadj[%d]", i)
+	}
+	for i, a := range h.checkAdj {
+		check.Assertf(g.Adj[i] == a, "core: Hierarchy topology drift at Adj[%d]", i)
+	}
+}
+
+// next returns the coarse graph and fine→coarse map for the current level:
+// a cached replay when the level validates against (start, orig, capW), nil
+// otherwise (the caller then matches afresh and records via record).
+func (cur *hierCursor) next(g *graph.Graph, start, orig []int32, capW int64) (*graph.Graph, []int32) {
+	if cur == nil || cur.broken || cur.li >= len(*cur.levels) {
+		return nil, nil
+	}
+	lv := (*cur.levels)[cur.li]
+	cg, ok := lv.reaggregate(g, start, orig, capW)
+	if !ok {
+		// Evict this level and everything deeper; rebuild from here down.
+		*cur.levels = (*cur.levels)[:cur.li]
+		cur.broken = true
+		return nil, nil
+	}
+	cur.h.Stats.LevelsReused++
+	cur.li++
+	return cg, lv.f2c
+}
+
+// record registers a freshly contracted level so the next epoch can replay it.
+func (cur *hierCursor) record(g, cg *graph.Graph, f2c []int32) {
+	if cur == nil {
+		return
+	}
+	lv := &hierLevel{
+		f2c:     f2c,
+		xadj:    cg.Xadj,
+		adj:     cg.Adj,
+		edgeMap: buildEdgeMap(g, cg, f2c),
+		nc:      cg.N(),
+	}
+	*cur.levels = append(*cur.levels, lv)
+	cur.h.Stats.LevelsRebuilt++
+	cur.li++
+}
+
+// buildEdgeMap maps every fine CSR slot to the coarse CSR slot its weight
+// aggregates into (-1 for edges internal to a matched pair). Coarse rows are
+// ascending (ContractInto's construction), so the slot is found by binary
+// search within the row.
+func buildEdgeMap(g, cg *graph.Graph, f2c []int32) []int32 {
+	em := make([]int32, len(g.Adj))
+	for v := int32(0); v < int32(g.N()); v++ {
+		cv := f2c[v]
+		row := cg.Adj[cg.Xadj[cv]:cg.Xadj[cv+1]]
+		for k := g.Xadj[v]; k < g.Xadj[v+1]; k++ {
+			cu := f2c[g.Adj[k]]
+			if cu == cv {
+				em[k] = -1
+				continue
+			}
+			lo, hi := 0, len(row)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if row[mid] < cu {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			em[k] = cg.Xadj[cv] + int32(lo)
+		}
+	}
+	return em
+}
+
+// reaggregate rebuilds the coarse graph's weights from the current fine
+// weights through the cached maps — the linear pass that replaces matching
+// and contraction on reuse epochs. It fails (false) when a cached matched
+// pair no longer shares its part or origin label, or outgrew the contraction
+// weight cap; both mean the cached matching would break PNR's invariants.
+// The returned graph shares the cached topology arrays; callers treat graphs
+// as immutable (only assignments are refined), so the sharing is safe.
+func (lv *hierLevel) reaggregate(g *graph.Graph, start, orig []int32, capW int64) (*graph.Graph, bool) {
+	nc := lv.nc
+	vw := make([]int64, nc)
+	members := make([]uint8, nc)
+	labS := make([]int32, nc)
+	labO := make([]int32, nc)
+	for c := range labS {
+		labS[c] = -1
+	}
+	for v, c := range lv.f2c {
+		if labS[c] < 0 {
+			labS[c], labO[c] = start[v], orig[v]
+		} else if labS[c] != start[v] || labO[c] != orig[v] {
+			return nil, false
+		}
+		vw[c] += g.VW[v]
+		members[c]++
+		if members[c] > 1 && vw[c] > capW {
+			return nil, false
+		}
+	}
+	ew := make([]int64, len(lv.adj))
+	for k, cm := range lv.edgeMap {
+		if cm >= 0 {
+			ew[cm] += g.EW[k]
+		}
+	}
+	return &graph.Graph{Xadj: lv.xadj, Adj: lv.adj, VW: vw, EW: ew}, true
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"pared/internal/graph"
+	"pared/internal/meshgen"
+	"pared/internal/partition"
+	"pared/internal/partition/mlkl"
+)
+
+// hierScenario builds a coarse dual graph plus an assignment whose imbalance
+// is large enough to put Repartition on the non-flat multilevel path, and a
+// deterministic weight-perturbation schedule standing in for adaptation.
+func hierScenario(t *testing.T, n, p int) (*graph.Graph, []int32) {
+	t.Helper()
+	m := meshgen.RectTri(n, n, -1, -1, 1, 1)
+	g := graph.FromDual(m)
+	old := mlkl.Partition(g, p, mlkl.Config{Seed: 11})
+	for v := range g.VW {
+		c := m.Centroid(v)
+		if c.X > 0 {
+			g.VW[v] *= 6 // heavy half ⇒ excess well above the 15% flat cutoff
+		}
+	}
+	return g, old
+}
+
+// perturb applies a deterministic multiplicative weight nudge, scaled by
+// round, mimicking adaptation between rebalance epochs.
+func perturb(g *graph.Graph, round int) {
+	for v := range g.VW {
+		if (v+round)%7 == 0 {
+			g.VW[v]++
+		}
+		if (v*3+round)%11 == 0 && g.VW[v] > 1 {
+			g.VW[v]--
+		}
+	}
+}
+
+// TestHierarchyRematchEveryOneIdentical: with RematchEvery=1 the drift
+// trigger fires on every call, so the cached pipeline must be byte-identical
+// to running without a cache — recording must not perturb the algorithm.
+func TestHierarchyRematchEveryOneIdentical(t *testing.T) {
+	const p = 4
+	g, old := hierScenario(t, 20, p)
+	g2 := &graph.Graph{Xadj: g.Xadj, Adj: g.Adj, EW: g.EW, VW: append([]int64(nil), g.VW...)}
+	h := NewHierarchy()
+	oldA := append([]int32(nil), old...)
+	oldB := append([]int32(nil), old...)
+	for round := 0; round < 6; round++ {
+		perturb(g, round)
+		perturb(g2, round)
+		want := Repartition(g, oldA, p, Config{})
+		got := Repartition(g2, oldB, p, Config{Hierarchy: h, RematchEvery: 1})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("round %d: cached (RematchEvery=1) diverged at vertex %d: %d != %d",
+					round, v, got[v], want[v])
+			}
+		}
+		oldA, oldB = want, got
+	}
+	if h.Stats.FullRebuilds != h.Stats.Calls-h.Stats.FlatCalls {
+		t.Errorf("RematchEvery=1 must rebuild every non-flat call: %+v", h.Stats)
+	}
+	if h.Stats.LevelsReused != 0 {
+		t.Errorf("RematchEvery=1 must never reuse a level: %+v", h.Stats)
+	}
+}
+
+// TestHierarchyReusesLevels: across epochs with small weight drift the cache
+// must actually replay levels, and every cached-path result must still be a
+// valid, balanced partition.
+func TestHierarchyReusesLevels(t *testing.T) {
+	const p = 4
+	g, old := hierScenario(t, 20, p)
+	h := NewHierarchy()
+	cfg := Config{Hierarchy: h, RematchEvery: 100, DriftFrac: 0.9}
+	// Keep the imbalanced assignment fixed so every call takes the non-flat
+	// multilevel path (a chained engine converges to flat calls, which is the
+	// cheap case already).
+	for round := 0; round < 6; round++ {
+		perturb(g, round)
+		newp := Repartition(g, old, p, cfg)
+		if err := partition.Check(newp, p); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if im := partition.Imbalance(g, newp, p); im > 0.05 {
+			t.Errorf("round %d: imbalance %.4f", round, im)
+		}
+	}
+	if h.Stats.LevelsReused == 0 {
+		t.Errorf("cache never replayed a level under small drift: %+v", h.Stats)
+	}
+	t.Logf("stats: %+v", h.Stats)
+}
+
+// TestHierarchyDriftTriggersRebuild: a massive weight change between calls
+// must trip the DriftFrac trigger and force a full re-match.
+func TestHierarchyDriftTriggersRebuild(t *testing.T) {
+	const p = 4
+	g, old := hierScenario(t, 20, p)
+	h := NewHierarchy()
+	cfg := Config{Hierarchy: h, RematchEvery: 100, DriftFrac: 0.5}
+	Repartition(g, old, p, cfg)
+	before := h.Stats.FullRebuilds
+	for v := range g.VW {
+		g.VW[v] *= 4 // Σ|ΔVW|/ΣVW = 3 ≫ DriftFrac
+	}
+	Repartition(g, old, p, cfg)
+	if h.Stats.FullRebuilds != before+1 {
+		t.Errorf("drift did not force a rebuild: %+v", h.Stats)
+	}
+}
+
+// TestHierarchyPartCountChangeResets: reusing one cache across different p
+// must fall back to a full rebuild rather than replaying maps built for a
+// different stop level.
+func TestHierarchyPartCountChangeResets(t *testing.T) {
+	g, old := hierScenario(t, 20, 4)
+	h := NewHierarchy()
+	cfg := Config{Hierarchy: h, RematchEvery: 100, DriftFrac: 0.9}
+	Repartition(g, old, 4, cfg)
+	before := h.Stats.FullRebuilds
+	// The 4-part labels are a legal (and heavily imbalanced) 8-part
+	// assignment, so the p=8 call stays on the non-flat path.
+	newp := Repartition(g, old, 8, cfg)
+	if err := partition.Check(newp, 8); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats.FullRebuilds != before+1 {
+		t.Errorf("p change did not force a rebuild: %+v", h.Stats)
+	}
+}

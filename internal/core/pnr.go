@@ -60,6 +60,18 @@ type Config struct {
 	// inherit the heavier constituent's assignment, losing the exact
 	// correspondence between coarse moves and data movement.
 	UnrestrictedMatching bool
+	// Hierarchy, when non-nil, caches contraction hierarchies across calls on
+	// a fixed-topology graph so reuse epochs re-aggregate weights instead of
+	// re-matching (see Hierarchy). Ignored under UnrestrictedMatching, whose
+	// coarse labels are not reproducible from the maps alone.
+	Hierarchy *Hierarchy
+	// RematchEvery forces a full re-match on every K-th non-flat call that
+	// uses the Hierarchy cache (default 8; 1 disables reuse entirely and is
+	// byte-identical to running without a cache).
+	RematchEvery int
+	// DriftFrac forces a full re-match when Σ|ΔVW|/ΣVW since the last rebuild
+	// exceeds this fraction (default 0.5).
+	DriftFrac float64
 	// Initial configures the Multilevel-KL partitioner used when no current
 	// assignment exists (the t = 0 initial partition).
 	Initial mlkl.Config
@@ -89,6 +101,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cycles == 0 {
 		c.Cycles = 3
+	}
+	if c.RematchEvery == 0 {
+		c.RematchEvery = 8
+	}
+	if c.DriftFrac <= 0 {
+		c.DriftFrac = 0.5
 	}
 	return c
 }
@@ -156,13 +174,28 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 	if flat {
 		cycles = 1 // without contraction the cycles would be identical
 	}
+	var curs []*hierCursor
+	if h := cfg.Hierarchy; h != nil && !cfg.UnrestrictedMatching {
+		if flat {
+			// Flat calls build no hierarchy; the cache (and its drift
+			// reference) carries over untouched to the next restructure.
+			h.Stats.Calls++
+			h.Stats.FlatCalls++
+		} else {
+			curs = h.prepare(g, p, cfg, cycles)
+		}
+	}
 	for cycle := 0; cycle < cycles; cycle++ {
 		cyc := cfg
 		cyc.Seed = cfg.Seed + int64(cycle)*65537
 		if flat {
 			cyc.CoarsenTo = g.N() + 1
 		}
-		parts = repartitionML(scr, g, parts, old, p, cyc, 0)
+		var cur *hierCursor
+		if curs != nil {
+			cur = curs[cycle]
+		}
+		parts = repartitionML(scr, g, parts, old, p, cyc, 0, cur)
 		// Safety net: if the soft balance term left residual imbalance,
 		// apply forced boundary moves until within ε.
 		forceBalance(&scr.kl, g, parts, old, p, cyc)
@@ -208,7 +241,7 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 // construction and only the KL refinement moves anything. start is the
 // assignment being improved; orig is the fixed data location that migration
 // is charged against.
-func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, cfg Config, depth int) []int32 {
+func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, cfg Config, depth int, cur *hierCursor) []int32 {
 	stop := cfg.CoarsenTo
 	if 4*p > stop {
 		stop = 4 * p
@@ -225,18 +258,24 @@ func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, 
 	if capW < 2 {
 		capW = 2
 	}
-	allow := func(u, v int32) bool {
-		return start[u] == start[v] && orig[u] == orig[v] && g.VW[u]+g.VW[v] <= capW
-	}
-	if cfg.UnrestrictedMatching {
-		allow = func(u, v int32) bool { return g.VW[u]+g.VW[v] <= capW }
-	}
-	match := graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
-	cg, f2c := graph.ContractInto(g, match, &scr.contract)
-	if cg.N() >= g.N()*19/20 {
-		parts := append([]int32(nil), start...)
-		refineKL(&scr.kl, g, parts, orig, p, cfg)
-		return parts
+	// A valid cached level replaces matching + contraction with a linear
+	// weight re-aggregation; otherwise match afresh and record the level.
+	cg, f2c := cur.next(g, start, orig, capW)
+	if cg == nil {
+		allow := func(u, v int32) bool {
+			return start[u] == start[v] && orig[u] == orig[v] && g.VW[u]+g.VW[v] <= capW
+		}
+		if cfg.UnrestrictedMatching {
+			allow = func(u, v int32) bool { return g.VW[u]+g.VW[v] <= capW }
+		}
+		match := graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
+		cg, f2c = graph.ContractInto(g, match, &scr.contract)
+		if cg.N() >= g.N()*19/20 {
+			parts := append([]int32(nil), start...)
+			refineKL(&scr.kl, g, parts, orig, p, cfg)
+			return parts
+		}
+		cur.record(g, cg, f2c)
 	}
 	cstart := make([]int32, cg.N())
 	corig := make([]int32, cg.N())
@@ -259,7 +298,7 @@ func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, 
 			corig[c] = orig[v]
 		}
 	}
-	cparts := repartitionML(scr, cg, cstart, corig, p, cfg, depth+1)
+	cparts := repartitionML(scr, cg, cstart, corig, p, cfg, depth+1, cur)
 	parts := make([]int32, g.N())
 	for v := range parts {
 		parts[v] = cparts[f2c[v]]

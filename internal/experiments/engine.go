@@ -11,12 +11,21 @@ import (
 	"pared/internal/pared"
 )
 
+// EnginePhases is EngineDemo's cost breakdown: the coordinator rank's
+// cumulative wall time per repartitioning phase, and which rebalance pipeline
+// produced it ("incremental" or "scratch").
+type EnginePhases struct {
+	P1Ms, P2Ms, P3Ms float64
+	Mode             string
+}
+
 // EngineDemo drives the full distributed system (Figure 2's phases with real
 // message passing: goroutine ranks, split-edge exchange, weight gather at the
 // coordinator, PNR repartition, tree migration) through a shortened transient
 // run, reporting per-step global state. It demonstrates that the engine's
-// migration behaviour matches the serial-path experiments.
-func EngineDemo(w io.Writer, scale Scale) {
+// migration behaviour matches the serial-path experiments. scratch selects
+// the from-scratch reference pipeline instead of the incremental one.
+func EngineDemo(w io.Writer, scale Scale, scratch bool) EnginePhases {
 	gridN, steps, p, tol := 16, 8, 4, 1.5e-2
 	if scale == Full {
 		gridN, steps, p, tol = 24, 20, 8, 8e-3
@@ -26,8 +35,13 @@ func EngineDemo(w io.Writer, scale Scale) {
 		Title:  fmt.Sprintf("Distributed engine (p=%d): transient tracking through PARED phases P0-P3", p),
 		Header: []string{"step", "t", "elems", "rounds", "imb before", "moved elems", "moved trees", "imb after"},
 	}
+	ph := EnginePhases{Mode: "incremental"}
+	if scratch {
+		ph.Mode = "scratch"
+	}
 	err := par.Run(p, func(c *par.Comm) {
 		e := pared.Bootstrap(c, m0)
+		e.SetConfig(pared.Config{Scratch: scratch})
 		for step := 0; step < steps; step++ {
 			tt := -0.5 + float64(step)/float64(steps-1)
 			est := fem.InterpolationEstimator(fem.TransientSolution(tt))
@@ -48,11 +62,19 @@ func EngineDemo(w io.Writer, scale Scale) {
 		if err := e.CheckConsistency(); err != nil {
 			panic(err)
 		}
+		if c.Rank() == 0 {
+			ph.P1Ms = float64(e.Phases.P1.Microseconds()) / 1000
+			ph.P2Ms = float64(e.Phases.P2.Microseconds()) / 1000
+			ph.P3Ms = float64(e.Phases.P3.Microseconds()) / 1000
+		}
 	})
 	if err != nil {
 		fmt.Fprintf(w, "engine demo failed: %v\n", err)
-		return
+		return ph
 	}
 	t.Fprint(w)
+	fmt.Fprintf(w, "phase totals (rank 0, %s): P1 %.3fms, P2 %.3fms, P3 %.3fms\n",
+		ph.Mode, ph.P1Ms, ph.P2Ms, ph.P3Ms)
 	_ = mesh.D2
+	return ph
 }

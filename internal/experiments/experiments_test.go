@@ -281,12 +281,15 @@ func TestTheorem61Quick(t *testing.T) {
 
 func TestEngineDemoQuick(t *testing.T) {
 	var buf bytes.Buffer
-	EngineDemo(&buf, Quick)
+	ph := EngineDemo(&buf, Quick, false)
 	if strings.Contains(buf.String(), "failed") {
 		t.Fatalf("engine demo failed:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "moved elems") {
 		t.Error("missing table")
+	}
+	if ph.Mode != "incremental" || ph.P3Ms <= 0 {
+		t.Errorf("phase report not populated: %+v", ph)
 	}
 }
 

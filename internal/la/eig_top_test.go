@@ -1,0 +1,78 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSymTriTopPairMatchesFullSolve cross-checks the Sturm-bisection +
+// inverse-iteration top Ritz pair against the full O(m³) SymTriEig solve on
+// random tridiagonals: same top eigenvalue and the same eigenvector up to
+// sign, across the sizes Lanczos actually produces.
+func TestSymTriTopPairMatchesFullSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89} {
+		for trial := 0; trial < 4; trial++ {
+			d := make([]float64, n)
+			e := make([]float64, n-1)
+			for i := range d {
+				d[i] = 4*rng.Float64() - 2
+			}
+			for i := range e {
+				// Include near-zero couplings: the matrix then nearly splits
+				// into blocks, the classic hard case for inverse iteration.
+				e[i] = rng.Float64()
+				if trial == 3 && i%3 == 0 {
+					e[i] *= 1e-12
+				}
+			}
+			vals, vecs := SymTriEig(append([]float64(nil), d...), append([]float64(nil), e...))
+			wantVal, wantVec := vals[n-1], vecs[n-1]
+			gotVal, gotVec := symTriTopPair(d, e)
+			scale := math.Abs(wantVal) + 1
+			if math.Abs(gotVal-wantVal) > 1e-9*scale {
+				t.Fatalf("n=%d trial=%d: top eigenvalue %.17g, full solve %.17g", n, trial, gotVal, wantVal)
+			}
+			var dot, norm2 float64
+			for i := range gotVec {
+				dot += gotVec[i] * wantVec[i]
+				norm2 += gotVec[i] * gotVec[i]
+			}
+			if math.Abs(norm2-1) > 1e-8 {
+				t.Fatalf("n=%d trial=%d: top vector norm² = %.17g", n, trial, norm2)
+			}
+			if math.Abs(math.Abs(dot)-1) > 1e-6 {
+				t.Fatalf("n=%d trial=%d: |<fast, full>| = %.17g, want 1", n, trial, math.Abs(dot))
+			}
+		}
+	}
+}
+
+// TestSymTriTopPairConstantDiagonal covers the degenerate repeated-eigenvalue
+// case (zero off-diagonals): any unit vector in the top eigenspace is
+// acceptable, but the value must be exact.
+func TestSymTriTopPairConstantDiagonal(t *testing.T) {
+	d := []float64{2, 7, 7, 1}
+	e := []float64{0, 0, 0}
+	val, vec := symTriTopPair(d, e)
+	if math.Abs(val-7) > 1e-12 {
+		t.Fatalf("top eigenvalue %v, want 7", val)
+	}
+	var residInf float64
+	for i := range d {
+		r := (d[i] - val) * vec[i]
+		if i > 0 {
+			r += e[i-1] * vec[i-1]
+		}
+		if i < len(e) {
+			r += e[i] * vec[i+1]
+		}
+		if math.Abs(r) > residInf {
+			residInf = math.Abs(r)
+		}
+	}
+	if residInf > 1e-10 {
+		t.Fatalf("residual %v", residInf)
+	}
+}

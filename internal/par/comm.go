@@ -25,6 +25,11 @@ type message struct {
 	tag  Tag
 	seq  int64 // collective sequence number (0 for point-to-point traffic)
 	data any
+	// Typed payload lanes for the hot collectives (see typed.go): carrying
+	// the slice header inline avoids boxing it into data.
+	i32   []int32
+	i64   []int64
+	bytes []byte
 }
 
 // Comm is one rank's endpoint of the communicator.
@@ -53,7 +58,10 @@ const consumedSrc = -2
 // consumePending tombstones slot i and maintains the head/compaction
 // invariants.
 func (c *Comm) consumePending(i int) {
-	c.pending[i].data = nil // release the payload reference
+	c.pending[i].data = nil // release the payload references
+	c.pending[i].i32 = nil
+	c.pending[i].i64 = nil
+	c.pending[i].bytes = nil
 	c.pending[i].src = consumedSrc
 	c.pendingDead++
 	if i == c.pendingHead {
@@ -120,6 +128,13 @@ func (c *Comm) Recv(src int, tag Tag) (data any, from int) {
 }
 
 func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
+	m := c.recvMsg(src, tag, seq)
+	return m.data, m.src
+}
+
+// recvMsg blocks until a message matching (src, tag, seq) arrives and returns
+// it whole — the typed collectives read their payload lane directly.
+func (c *Comm) recvMsg(src int, tag Tag, seq int64) message {
 	match := func(m message) bool {
 		return m.tag == tag && m.seq == seq && (src == AnySource || m.src == src)
 	}
@@ -130,7 +145,7 @@ func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
 		}
 		if match(m) {
 			c.consumePending(i)
-			return m.data, m.src
+			return m
 		}
 		if check.Enabled {
 			c.assertSameCollective(m, tag, seq)
@@ -139,7 +154,7 @@ func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
 	for {
 		m := <-c.world.boxes[c.rank]
 		if match(m) {
-			return m.data, m.src
+			return m
 		}
 		if check.Enabled {
 			c.assertSameCollective(m, tag, seq)

@@ -1,0 +1,126 @@
+package par
+
+// Typed collectives for hot payloads. The generic collectives carry `any`
+// payloads: every Send boxes the value into an interface and every Recv type-
+// asserts it back out, which costs an allocation per message and defeats
+// escape analysis for the slices inside. The rebalance pipeline moves flat
+// int32/int64/byte slices every epoch, so these variants carry the slice
+// headers in dedicated message fields — no boxing, no copies, no assertions.
+//
+// Ownership follows the package convention: senders relinquish what they
+// send. Received slices are shared with the sender (and, for BcastInt32,
+// with every rank), so receivers must treat them as read-only or copy.
+
+// Reserved tags continuing the collective range in collectives.go.
+const (
+	tagGatherI32 Tag = -100 - iota
+	tagGatherI64
+	tagBcastI32
+	tagAlltoallB
+	tagMaxSumUp
+	tagMaxSumDown
+)
+
+// AllReduceMaxSum combines every rank's value into (max, sum) in one fused
+// round — one gather and one broadcast — where separate AllReduceMax +
+// AllReduceSum calls would take four. The engine's cheap imbalance probe
+// runs this every epoch, including the epochs that go on to skip rebalancing
+// entirely, so the probe must not cost more than the decision it avoids.
+func (c *Comm) AllReduceMaxSum(value int64) (max, sum int64) {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank != 0 {
+		c.world.boxes[0] <- message{src: c.rank, tag: tagMaxSumUp, seq: seq, i64: []int64{value}}
+		m := c.recvMsg(0, tagMaxSumDown, seq)
+		return m.i64[0], m.i64[1]
+	}
+	max, sum = value, value
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagMaxSumUp, seq)
+		v := m.i64[0]
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	down := []int64{max, sum}
+	for i := 1; i < c.size; i++ {
+		c.world.boxes[i] <- message{src: c.rank, tag: tagMaxSumDown, seq: seq, i64: down}
+	}
+	return max, sum
+}
+
+// GatherInt32 collects each rank's []int32 at root. The result (indexed by
+// rank) is non-nil only at root; out[rank] aliases the sender's slice.
+func (c *Comm) GatherInt32(root int, xs []int32) [][]int32 {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank != root {
+		c.world.boxes[root] <- message{src: c.rank, tag: tagGatherI32, seq: seq, i32: xs}
+		return nil
+	}
+	out := make([][]int32, c.size)
+	out[c.rank] = xs
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagGatherI32, seq)
+		out[m.src] = m.i32
+	}
+	return out
+}
+
+// GatherInt64 collects each rank's []int64 at root, like GatherInt32.
+func (c *Comm) GatherInt64(root int, xs []int64) [][]int64 {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank != root {
+		c.world.boxes[root] <- message{src: c.rank, tag: tagGatherI64, seq: seq, i64: xs}
+		return nil
+	}
+	out := make([][]int64, c.size)
+	out[c.rank] = xs
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagGatherI64, seq)
+		out[m.src] = m.i64
+	}
+	return out
+}
+
+// BcastInt32 distributes root's []int32 to every rank and returns it. All
+// ranks share the same backing array; treat the result as read-only.
+func (c *Comm) BcastInt32(root int, xs []int32) []int32 {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank == root {
+		for i := 0; i < c.size; i++ {
+			if i != root {
+				c.world.boxes[i] <- message{src: c.rank, tag: tagBcastI32, seq: seq, i32: xs}
+			}
+		}
+		return xs
+	}
+	m := c.recvMsg(root, tagBcastI32, seq)
+	return m.i32
+}
+
+// AlltoallBytes delivers send[i] to rank i and returns the buffers received
+// from every rank (indexed by source). send must have length Size; nil
+// entries are delivered as nil.
+func (c *Comm) AlltoallBytes(send [][]byte) [][]byte {
+	if len(send) != c.size {
+		panic("par: AlltoallBytes needs one buffer per rank")
+	}
+	c.collSeq++
+	seq := c.collSeq
+	recv := make([][]byte, c.size)
+	recv[c.rank] = send[c.rank]
+	for i := 0; i < c.size; i++ {
+		if i != c.rank {
+			c.world.boxes[i] <- message{src: c.rank, tag: tagAlltoallB, seq: seq, bytes: send[i]}
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagAlltoallB, seq)
+		recv[m.src] = m.bytes
+	}
+	return recv
+}

@@ -1,0 +1,161 @@
+package par
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestGatherInt32(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) {
+		xs := make([]int32, c.Rank()+1)
+		for i := range xs {
+			xs[i] = int32(c.Rank()*100 + i)
+		}
+		out := c.GatherInt32(0, xs)
+		if c.Rank() != 0 {
+			if out != nil {
+				panic("non-root got a gather result")
+			}
+			return
+		}
+		for r := 0; r < p; r++ {
+			if len(out[r]) != r+1 {
+				panic(fmt.Sprintf("rank %d slice length %d", r, len(out[r])))
+			}
+			for i, v := range out[r] {
+				if v != int32(r*100+i) {
+					panic(fmt.Sprintf("rank %d slot %d = %d", r, i, v))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherInt64RootNotZero(t *testing.T) {
+	const p = 3
+	err := Run(p, func(c *Comm) {
+		out := c.GatherInt64(2, []int64{int64(c.Rank()) << 32})
+		if c.Rank() != 2 {
+			if out != nil {
+				panic("non-root got a gather result")
+			}
+			return
+		}
+		for r := 0; r < p; r++ {
+			if out[r][0] != int64(r)<<32 {
+				panic(fmt.Sprintf("rank %d value %d", r, out[r][0]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastInt32(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) {
+		var xs []int32
+		if c.Rank() == 1 {
+			xs = []int32{7, 8, 9}
+		}
+		got := c.BcastInt32(1, xs)
+		if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+			panic(fmt.Sprintf("rank %d got %v", c.Rank(), got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallBytes(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) {
+		send := make([][]byte, p)
+		for i := range send {
+			send[i] = []byte(fmt.Sprintf("from %d to %d", c.Rank(), i))
+		}
+		recv := c.AlltoallBytes(send)
+		for src, buf := range recv {
+			want := fmt.Sprintf("from %d to %d", src, c.Rank())
+			if !bytes.Equal(buf, []byte(want)) {
+				panic(fmt.Sprintf("rank %d from %d: %q != %q", c.Rank(), src, buf, want))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedInterleavesWithUntyped drives typed and generic collectives
+// back-to-back in the same order on every rank: the shared sequence counter
+// must keep them from cross-matching.
+func TestTypedInterleavesWithUntyped(t *testing.T) {
+	const p = 3
+	err := Run(p, func(c *Comm) {
+		for round := 0; round < 5; round++ {
+			got := c.BcastInt32(0, []int32{int32(round)})
+			if got[0] != int32(round) {
+				panic("typed bcast mismatch")
+			}
+			if v := c.AllReduceSum(1); v != p {
+				panic("allreduce mismatch")
+			}
+			outs := c.GatherInt64(0, []int64{int64(c.Rank())})
+			if c.Rank() == 0 {
+				for r := 0; r < p; r++ {
+					if outs[r][0] != int64(r) {
+						panic("typed gather mismatch")
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGatherTyped compares the boxed Gather against GatherInt64 for the
+// rebalance-report shape (one flat weight slice per rank per epoch): the
+// typed lane must not allocate per message.
+func BenchmarkGatherTyped(b *testing.B) {
+	const p, n = 8, 1024
+	payload := make([][]int64, p)
+	for i := range payload {
+		payload[i] = make([]int64, n)
+	}
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := Run(p, func(c *Comm) {
+				for round := 0; round < 16; round++ {
+					c.Gather(0, payload[c.Rank()])
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("typed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := Run(p, func(c *Comm) {
+				for round := 0; round < 16; round++ {
+					c.GatherInt64(0, payload[c.Rank()])
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -20,6 +20,7 @@ package pared
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pared/internal/check"
 	"pared/internal/core"
@@ -44,6 +45,17 @@ type Config struct {
 	// ImbalanceTrigger invokes repartitioning when the leaf-count imbalance
 	// exceeds this fraction (default 0.05). Rebalance can also be forced.
 	ImbalanceTrigger float64
+	// Scratch disables the incremental rebalance pipeline: every epoch sends
+	// full weight reports, rebuilds G from scratch and broadcasts the whole
+	// owner map. Kept as the equivalence reference and for ablation; the
+	// incremental pipeline must produce byte-identical owner maps when its
+	// hierarchy drift trigger fires every call (PNR.RematchEvery = 1).
+	Scratch bool
+	// PNR tunes the default core.Repartition repartitioner; ignored when
+	// Repartition is set. Unless Scratch is set (or a Hierarchy is supplied),
+	// a persistent multilevel cache is installed so epochs under small weight
+	// drift reuse contraction hierarchies (see core.Hierarchy).
+	PNR core.Config
 	// Trace, if set, receives one line per engine phase with timings and
 	// volumes (adapt rounds, weight-gather sizes, migration counts).
 	Trace TraceFunc
@@ -51,8 +63,12 @@ type Config struct {
 
 func (c Config) withDefaults(p int) Config {
 	if c.Repartition == nil {
+		pnr := c.PNR
+		if pnr.Hierarchy == nil && !c.Scratch {
+			pnr.Hierarchy = core.NewHierarchy()
+		}
 		c.Repartition = func(g *graph.Graph, old []int32, np int) []int32 {
-			return core.Repartition(g, old, np, core.Config{})
+			return core.Repartition(g, old, np, pnr)
 		}
 	}
 	if c.ImbalanceTrigger <= 0 {
@@ -82,6 +98,34 @@ type Engine struct {
 	shared map[forest.VertexID]bool
 	// pending holds remote splits not yet applicable locally.
 	pending map[refine.EdgeSplit]bool
+
+	// Incremental rebalance state. G's topology is invariant for the run —
+	// adaptation changes weights, never the coarse adjacency — so the
+	// coordinator builds the CSR once and ranks report only weight deltas.
+	//
+	// gCache is the coordinator's cached coarse dual graph (rank 0 only):
+	// topology from the replicated coarse mesh, weights accumulated from
+	// delta reports. lastVW/lastEW are this rank's previous report, the
+	// baseline its next delta is computed against; deltas are additive, so
+	// tree migration needs no special handling — a departed tree is reported
+	// as −last by the old owner and +current by the new one.
+	gCache *graph.Graph
+	lastVW []int64
+	lastEW map[[2]int32]int64
+
+	// CheapSkips counts Rebalance(force=false) calls that returned after the
+	// single fused imbalance probe, before any weight work (see Rebalance).
+	CheapSkips int64
+	// Phases accumulates this rank's wall time per repartitioning phase
+	// across all Rebalance calls, for benchmark reports.
+	Phases PhaseDurations
+}
+
+// PhaseDurations breaks rebalancing cost into the paper's phases: P1 local
+// weight computation, P2 the weight gather, P3 repartitioning plus owner
+// distribution and tree migration.
+type PhaseDurations struct {
+	P1, P2, P3 time.Duration
 }
 
 // Message tags used by the engine (collectives use their own range).
@@ -313,11 +357,12 @@ func (e *Engine) Adapt(est refine.Estimator, refineTol, coarsenTol float64, maxL
 	return st
 }
 
-// Imbalance returns the global leaf-count imbalance max/avg − 1.
+// Imbalance returns the global leaf-count imbalance max/avg − 1, computed
+// from one fused (max, sum) reduction. Every rank derives the same float64
+// from the same reduced integers, so decisions taken on the result need no
+// further collective agreement.
 func (e *Engine) Imbalance() float64 {
-	local := int64(e.F.NumLeaves())
-	maxL := e.Comm.AllReduceMax(local)
-	total := e.Comm.AllReduceSum(local)
+	maxL, total := e.Comm.AllReduceMaxSum(int64(e.F.NumLeaves()))
 	avg := float64(total) / float64(e.Comm.Size())
 	//paredlint:allow floateq -- empty-mesh guard before division
 	if avg == 0 {
@@ -358,16 +403,20 @@ type RebalanceStats struct {
 
 // Rebalance runs phases P1–P3: compute weights, gather at the coordinator,
 // repartition, and migrate trees. If force is false the step is skipped while
-// imbalance is below the configured trigger.
+// imbalance is below the configured trigger; the skip is decided on the
+// single fused imbalance probe alone — no weight computation, gather, or
+// extra agreement collective happens first. force must be the same on every
+// rank (the usual SPMD contract; all collectives here assume it anyway).
 func (e *Engine) Rebalance(force bool) RebalanceStats {
 	var st RebalanceStats
 	imb := e.Imbalance()
-	doit := int64(0)
-	if force || imb > e.cfg.ImbalanceTrigger {
-		doit = 1
-	}
-	if e.Comm.AllReduceMax(doit) == 0 {
+	if !force && imb <= e.cfg.ImbalanceTrigger {
+		// Every rank computed the same imbalance from the same fused
+		// reduction, so everyone skips in lockstep.
+		e.CheapSkips++
 		st.Imbalance = imb
+		e.trace("P1 skip: imbalance %.4f <= trigger %.4f (probe only, %d skips so far)",
+			imb, e.cfg.ImbalanceTrigger, e.CheapSkips)
 		return st
 	}
 	st.Ran = true
@@ -377,24 +426,52 @@ func (e *Engine) Rebalance(force bool) RebalanceStats {
 	d1 := timed(func() { rep = e.localWeights() })
 	e.trace("P1 weights: %d roots, %d edge pairs in %v", len(rep.Roots), len(rep.EdgeR), d1)
 
-	// --- P2: gather at the coordinator.
-	var reports []any
-	d2 := timed(func() { reports = e.Comm.Gather(0, rep) })
-	e.trace("P2 gather: %v", d2)
-
-	// --- P3: coordinator repartitions G and broadcasts assignments.
+	// --- P2: weights reach the coordinator; P3: it repartitions G and the
+	// new assignment comes back. Incremental mode moves deltas both ways;
+	// scratch mode moves full reports and the full owner map.
 	var newOwner []int32
-	d3 := timed(func() {
-		if e.Comm.Rank() == 0 {
-			g := buildG(e.Coarse.NumElems(), reports)
-			st.CutBefore = partition.EdgeCut(g, e.Owner)
-			newOwner = e.cfg.Repartition(g, e.Owner, e.Comm.Size())
-			st.CutAfter = partition.EdgeCut(g, newOwner)
-		}
-		newOwner = e.Comm.Bcast(0, newOwner).([]int32)
-	})
-	st.CutBefore = e.Comm.Bcast(0, st.CutBefore).(int64)
-	st.CutAfter = e.Comm.Bcast(0, st.CutAfter).(int64)
+	var d2, d3 time.Duration
+	if e.cfg.Scratch {
+		var reports []any
+		d2 = timed(func() { reports = e.Comm.Gather(0, rep) })
+		e.trace("P2 gather: full reports in %v", d2)
+		d3 = timed(func() {
+			if e.Comm.Rank() == 0 {
+				g := buildG(e.Coarse.NumElems(), reports)
+				st.CutBefore = partition.EdgeCut(g, e.Owner)
+				newOwner = e.cfg.Repartition(g, e.Owner, e.Comm.Size())
+				st.CutAfter = partition.EdgeCut(g, newOwner)
+			}
+			newOwner = e.Comm.Bcast(0, newOwner).([]int32)
+		})
+		st.CutBefore = e.Comm.Bcast(0, st.CutBefore).(int64)
+		st.CutAfter = e.Comm.Bcast(0, st.CutAfter).(int64)
+	} else {
+		var deltas [][]int64
+		var nd int
+		d2 = timed(func() {
+			delta := e.deltaReport(rep)
+			nd = len(delta)
+			deltas = e.Comm.GatherInt64(0, delta)
+		})
+		e.trace("P2 gather: %d delta words in %v", nd, d2)
+		var ownerDelta []int32
+		d3 = timed(func() {
+			if e.Comm.Rank() == 0 {
+				g := e.coordinatorGraph(deltas)
+				st.CutBefore = partition.EdgeCut(g, e.Owner)
+				newOwner = e.cfg.Repartition(g, e.Owner, e.Comm.Size())
+				st.CutAfter = partition.EdgeCut(g, newOwner)
+				ownerDelta = packOwnerDelta(st.CutBefore, st.CutAfter, e.Owner, newOwner)
+			}
+			ownerDelta = e.Comm.BcastInt32(0, ownerDelta)
+			if e.Comm.Rank() != 0 {
+				newOwner, st.CutBefore, st.CutAfter = unpackOwnerDelta(e.Owner, ownerDelta)
+			}
+		})
+		e.assertPatchedG(rep)
+		e.trace("P3 owner delta: %d moved entries", (len(ownerDelta)-ownerDeltaHeader)/2)
+	}
 
 	// Migrate trees whose owner changed.
 	var moved, movedElems int64
@@ -406,6 +483,9 @@ func (e *Engine) Rebalance(force bool) RebalanceStats {
 		check.MeshConformal(e.F.LeafMesh().Mesh, "pared.Engine.Rebalance")
 	}
 	st.Imbalance = e.Imbalance()
+	e.Phases.P1 += d1
+	e.Phases.P2 += d2
+	e.Phases.P3 += d3 + dm
 	e.trace("P3 repartition+migrate: cut %d->%d, sent %d trees (%d elements) in %v+%v, imbalance %.4f",
 		st.CutBefore, st.CutAfter, moved, movedElems, d3, dm, st.Imbalance)
 	return st
@@ -516,8 +596,188 @@ func buildG(numRoots int, reports []any) *graph.Graph {
 	return b.Build()
 }
 
+// deltaReport turns a full weight report into the incremental P2 payload:
+// only the entries that changed since this rank's previous report, as
+// additive int64 deltas. Layout:
+//
+//	[nRoots, nEdges, (root, Δvw)×nRoots, (r, s, Δew)×nEdges]
+//
+// Deltas are against what THIS rank last reported (including −last for
+// entries it no longer sees), so the coordinator's running sums always equal
+// the global weights regardless of how trees moved between ranks. Entries are
+// emitted in ascending order, keeping the payload byte-stable across runs.
+func (e *Engine) deltaReport(rep weightReport) []int64 {
+	n := e.Coarse.NumElems()
+	if e.lastVW == nil {
+		e.lastVW = make([]int64, n)
+		e.lastEW = make(map[[2]int32]int64)
+	}
+	curVW := make([]int64, n)
+	for i, r := range rep.Roots {
+		curVW[r] = rep.VW[i]
+	}
+	var roots []int64
+	for r := 0; r < n; r++ {
+		if d := curVW[r] - e.lastVW[r]; d != 0 {
+			roots = append(roots, int64(r), d)
+			e.lastVW[r] = curVW[r]
+		}
+	}
+	curEW := make(map[[2]int32]int64, len(rep.EdgeR))
+	for i := range rep.EdgeR {
+		curEW[[2]int32{rep.EdgeR[i], rep.EdgeS[i]}] = rep.EdgeW[i]
+	}
+	keys := make([][2]int32, 0, len(curEW)+len(e.lastEW))
+	for k := range curEW {
+		keys = append(keys, k)
+	}
+	for k := range e.lastEW {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	// Keys present in both maps appear twice; after sorting the duplicates are
+	// adjacent, so the emit loop skips them.
+	var edges []int64
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue
+		}
+		if d := curEW[k] - e.lastEW[k]; d != 0 {
+			edges = append(edges, int64(k[0]), int64(k[1]), d)
+		}
+	}
+	e.lastEW = curEW
+	out := make([]int64, 0, 2+len(roots)+len(edges))
+	out = append(out, int64(len(roots)/2), int64(len(edges)/3))
+	out = append(out, roots...)
+	out = append(out, edges...)
+	return out
+}
+
+// coordinatorGraph returns rank 0's cached coarse dual graph with all ranks'
+// deltas applied. The topology is built once from the replicated coarse mesh
+// — G's adjacency is invariant for the run, because adaptation only changes
+// how many leaf pairs realize each coarse facet, never which coarse elements
+// share one — and only the weights are patched thereafter.
+func (e *Engine) coordinatorGraph(deltas [][]int64) *graph.Graph {
+	if e.gCache == nil {
+		full := graph.FromDual(e.Coarse)
+		e.gCache = &graph.Graph{
+			Xadj: full.Xadj,
+			Adj:  full.Adj,
+			VW:   make([]int64, full.N()),
+			EW:   make([]int64, len(full.Adj)),
+		}
+	}
+	g := e.gCache
+	for rank := 0; rank < len(deltas); rank++ {
+		d := deltas[rank]
+		nr, ne := int(d[0]), int(d[1])
+		d = d[2:]
+		for i := 0; i < nr; i++ {
+			g.VW[d[2*i]] += d[2*i+1]
+		}
+		d = d[2*nr:]
+		for i := 0; i < ne; i++ {
+			r, s, dw := int32(d[3*i]), int32(d[3*i+1]), d[3*i+2]
+			patchEdge(g, r, s, dw)
+			patchEdge(g, s, r, dw)
+		}
+	}
+	return g
+}
+
+// patchEdge adds dw to the directed CSR slot (u → v), located by binary
+// search in u's ascending adjacency row. A missing slot means a rank reported
+// adjacency the coarse mesh does not have — the topology invariance the whole
+// incremental pipeline rests on is broken — so it panics loudly.
+func patchEdge(g *graph.Graph, u, v int32, dw int64) {
+	lo, hi := g.Xadj[u], g.Xadj[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= g.Xadj[u+1] || g.Adj[lo] != v {
+		panic(fmt.Sprintf("pared: weight delta for (%d,%d) but the coarse mesh has no such adjacency", u, v))
+	}
+	g.EW[lo] += dw
+}
+
+// ownerDeltaHeader is the number of int32 words before the (index, owner)
+// pairs in the P3 owner-delta payload: two int64 cut values split hi/lo.
+const ownerDeltaHeader = 4
+
+// packOwnerDelta encodes the repartitioning outcome as the cut values plus
+// only the owner entries that changed; every rank replicates the old owner
+// map, so that is all a broadcast needs to carry.
+func packOwnerDelta(cutBefore, cutAfter int64, old, newOwner []int32) []int32 {
+	out := make([]int32, ownerDeltaHeader, ownerDeltaHeader+16)
+	out[0], out[1] = int32(cutBefore>>32), int32(cutBefore)
+	out[2], out[3] = int32(cutAfter>>32), int32(cutAfter)
+	for i := range newOwner {
+		if newOwner[i] != old[i] {
+			out = append(out, int32(i), newOwner[i])
+		}
+	}
+	return out
+}
+
+// unpackOwnerDelta reconstructs the new owner map (a fresh slice) and cut
+// values from a packOwnerDelta payload and the local copy of the old map.
+func unpackOwnerDelta(old []int32, payload []int32) (newOwner []int32, cutBefore, cutAfter int64) {
+	cutBefore = int64(payload[0])<<32 | int64(uint32(payload[1]))
+	cutAfter = int64(payload[2])<<32 | int64(uint32(payload[3]))
+	newOwner = append([]int32(nil), old...)
+	for i := ownerDeltaHeader; i < len(payload); i += 2 {
+		newOwner[payload[i]] = payload[i+1]
+	}
+	return newOwner, cutBefore, cutAfter
+}
+
+// assertPatchedG cross-checks, under paredassert, that the coordinator's
+// patched graph is byte-identical to the graph built from scratch out of full
+// weight reports — the correctness contract of the incremental pipeline. The
+// extra gather runs on every rank (check.Enabled is a build-wide constant, so
+// the collective order stays consistent).
+func (e *Engine) assertPatchedG(rep weightReport) {
+	if !check.Enabled {
+		return
+	}
+	reports := e.Comm.Gather(0, rep)
+	if e.Comm.Rank() != 0 {
+		return
+	}
+	ref := buildG(e.Coarse.NumElems(), reports)
+	g := e.gCache
+	check.Assertf(len(ref.Xadj) == len(g.Xadj) && len(ref.Adj) == len(g.Adj),
+		"pared: patched G shape differs from scratch build (%d/%d vs %d/%d)",
+		len(g.Xadj), len(g.Adj), len(ref.Xadj), len(ref.Adj))
+	for i := range ref.Xadj {
+		check.Assertf(g.Xadj[i] == ref.Xadj[i], "pared: patched G Xadj[%d] = %d, scratch %d", i, g.Xadj[i], ref.Xadj[i])
+	}
+	for i := range ref.Adj {
+		check.Assertf(g.Adj[i] == ref.Adj[i], "pared: patched G Adj[%d] = %d, scratch %d", i, g.Adj[i], ref.Adj[i])
+		check.Assertf(g.EW[i] == ref.EW[i], "pared: patched G EW[%d] = %d, scratch %d", i, g.EW[i], ref.EW[i])
+	}
+	for i := range ref.VW {
+		check.Assertf(g.VW[i] == ref.VW[i], "pared: patched G VW[%d] = %d, scratch %d", i, g.VW[i], ref.VW[i])
+	}
+}
+
 // migrate sends trees to their new owners and splices in received ones,
-// then rebuilds the refiner (edge incidence changed wholesale).
+// then rebuilds the refiner (edge incidence changed wholesale). Payloads
+// travel as one flat wire buffer per destination (forest.EncodePayloads), so
+// a migration lane costs one unboxed buffer instead of a pointer forest, and
+// empty lanes send nothing.
 func (e *Engine) migrate(newOwner []int32) (trees, elems int64) {
 	me := int32(e.Comm.Rank())
 	outgoing := make([][]*forest.TreePayload, e.Comm.Size())
@@ -530,16 +790,22 @@ func (e *Engine) migrate(newOwner []int32) (trees, elems int64) {
 			elems += int64(p.NumLeaves())
 		}
 	}
-	send := make([]any, e.Comm.Size())
+	send := make([][]byte, e.Comm.Size())
 	for i := range send {
-		send[i] = outgoing[i]
+		if i != e.Comm.Rank() {
+			send[i] = forest.EncodePayloads(outgoing[i])
+		}
 	}
-	recv := e.Comm.Alltoall(send)
-	for from, v := range recv {
+	recv := e.Comm.AlltoallBytes(send)
+	for from, buf := range recv {
 		if from == e.Comm.Rank() {
 			continue
 		}
-		for _, p := range v.([]*forest.TreePayload) {
+		ps, err := forest.DecodePayloads(buf)
+		if err != nil {
+			panic(fmt.Sprintf("pared: rank %d migration payload from %d: %v", e.Comm.Rank(), from, err))
+		}
+		for _, p := range ps {
 			e.F.InsertTree(p)
 		}
 	}
