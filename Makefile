@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self assert bench bench-json bench-guard cover reproduce full-assert clean
+.PHONY: all build test race lint lint-self assert bench bench-json bench-guard bench-alloc-baseline bench-alloc-guard cover reproduce full-assert clean
 
 all: build lint test
 
@@ -16,11 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project-specific static analysis (see internal/lint), all nine checks:
+# Project-specific static analysis (see internal/lint), all eleven checks:
 # per-file — map-iteration order in deterministic packages, raw concurrency
 # outside internal/par and internal/kern, float ==, dropped errors, sleeps;
 # flow-aware — rank-gated collectives (deadlocks), impure kern bodies,
-# *Scratch aliasing across concurrency, order-dependent float accumulation.
+# *Scratch aliasing across concurrency, order-dependent float accumulation;
+# path-sensitive — rank-divergent collective schedules (spmd, per-path trace
+# comparison), allocations in //pared:hotpath functions (hotalloc).
 # -strict-allow additionally fails on suppressions that suppress nothing.
 lint:
 	$(GO) vet ./...
@@ -56,6 +58,26 @@ bench-guard:
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard4.json > /dev/null
 	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient \
 		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json /tmp/benchguard4.json
+
+# Allocation budget of the hot-path packages. BENCH_allocs.json pins
+# allocs/op for every benchmark of kern/la/graph/core; regenerate it with
+# bench-alloc-baseline after a deliberate change to an allocation profile.
+ALLOC_PKGS = ./internal/kern ./internal/la ./internal/graph ./internal/core
+
+bench-alloc-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem $(ALLOC_PKGS) > /tmp/allocguard0.txt
+	$(GO) run ./cmd/benchguard -allocs -write-baseline BENCH_allocs.json /tmp/allocguard0.txt
+
+# Allocation regression guard: fresh -benchmem runs (best-of-2) must stay
+# within 20% of BENCH_allocs.json per benchmark — and zero-alloc baselines
+# (SpMV, Dot, the KL boundary scan) admit no allocations at all. Catches a
+# reintroduced per-op allocation (interface boxing, literal in a kernel) as a
+# CI failure, complementing the static hotalloc check with measurement.
+bench-alloc-guard:
+	$(GO) test -run '^$$' -bench . -benchmem $(ALLOC_PKGS) > /tmp/allocguard1.txt
+	$(GO) test -run '^$$' -bench . -benchmem $(ALLOC_PKGS) > /tmp/allocguard2.txt
+	$(GO) run ./cmd/benchguard -allocs -baseline BENCH_allocs.json \
+		/tmp/allocguard1.txt /tmp/allocguard2.txt
 
 cover:
 	$(GO) test ./internal/... -coverprofile=cover.out

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: pared/internal/la
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkDot-8            12345        987 ns/op	20360.04 MB/s          0 B/op          0 allocs/op
+BenchmarkSpMV-8             678      41210 ns/op         16 B/op          1 allocs/op
+BenchmarkCGSolve            100     104000 ns/op        512 B/op          8 allocs/op
+BenchmarkNoMem-8           5000        300 ns/op
+PASS
+ok      pared/internal/la    2.1s
+pkg: pared/internal/core
+BenchmarkRunKLScan-8        200      90000 ns/op        128 B/op          3 allocs/op
+BenchmarkRunKLScan-8        220      88000 ns/op        128 B/op          2 allocs/op
+`
+
+func TestParseBenchAllocs(t *testing.T) {
+	got := parseBenchAllocs(sampleBench)
+	want := map[string]int64{
+		"pared/internal/la.BenchmarkDot":         0,
+		"pared/internal/la.BenchmarkSpMV":        1,
+		"pared/internal/la.BenchmarkCGSolve":     8, // no -N suffix is also accepted
+		"pared/internal/core.BenchmarkRunKLScan": 2, // best of the two runs
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d: %v", len(got), len(want), got)
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("%s = %d allocs/op, want %d", name, got[name], n)
+		}
+	}
+	if _, ok := got["pared/internal/la.BenchmarkNoMem"]; ok {
+		t.Errorf("line without -benchmem columns should be skipped")
+	}
+}
+
+// writeTemp writes content to a temp file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAllocsGuardVerdicts(t *testing.T) {
+	baseline := writeTemp(t, "base.json", `{"records":[
+		{"name":"pared/internal/la.BenchmarkDot","allocs_per_op":0},
+		{"name":"pared/internal/la.BenchmarkSpMV","allocs_per_op":1},
+		{"name":"pared/internal/core.BenchmarkRunKLScan","allocs_per_op":10}
+	]}`)
+
+	// Within budget: zero stays zero, 1 -> 1, 10 -> 12 is exactly +20%.
+	ok := writeTemp(t, "ok.txt", `pkg: pared/internal/la
+BenchmarkDot-8    100   10 ns/op   0 B/op   0 allocs/op
+BenchmarkSpMV-8   100   10 ns/op   8 B/op   1 allocs/op
+pkg: pared/internal/core
+BenchmarkRunKLScan-8  100  10 ns/op  64 B/op  12 allocs/op
+`)
+	if code := runAllocsGuard(baseline, "", 0.20, []string{ok}); code != 0 {
+		t.Errorf("within-budget run returned %d, want 0", code)
+	}
+
+	// A zero-alloc baseline admits no allocations at all.
+	boxed := writeTemp(t, "boxed.txt", `pkg: pared/internal/la
+BenchmarkDot-8    100   10 ns/op   8 B/op   1 allocs/op
+BenchmarkSpMV-8   100   10 ns/op   8 B/op   1 allocs/op
+pkg: pared/internal/core
+BenchmarkRunKLScan-8  100  10 ns/op  64 B/op  10 allocs/op
+`)
+	if code := runAllocsGuard(baseline, "", 0.20, []string{boxed}); code != 1 {
+		t.Errorf("zero-baseline regression returned %d, want 1", code)
+	}
+
+	// +30% over a nonzero baseline fails at the 20% limit.
+	grown := writeTemp(t, "grown.txt", `pkg: pared/internal/la
+BenchmarkDot-8    100   10 ns/op   0 B/op   0 allocs/op
+BenchmarkSpMV-8   100   10 ns/op   8 B/op   1 allocs/op
+pkg: pared/internal/core
+BenchmarkRunKLScan-8  100  10 ns/op  64 B/op  13 allocs/op
+`)
+	if code := runAllocsGuard(baseline, "", 0.20, []string{grown}); code != 1 {
+		t.Errorf("+30%% regression returned %d, want 1", code)
+	}
+
+	// A benchmark missing from every candidate fails.
+	missing := writeTemp(t, "missing.txt", `pkg: pared/internal/la
+BenchmarkDot-8    100   10 ns/op   0 B/op   0 allocs/op
+`)
+	if code := runAllocsGuard(baseline, "", 0.20, []string{missing}); code != 1 {
+		t.Errorf("missing benchmark returned %d, want 1", code)
+	}
+
+	// Best-of-N across files: the clean second file rescues the first.
+	if code := runAllocsGuard(baseline, "", 0.20, []string{boxed, ok}); code != 0 {
+		t.Errorf("best-of-N run returned %d, want 0", code)
+	}
+}
+
+func TestAllocsGuardWriteBaseline(t *testing.T) {
+	run := writeTemp(t, "run.txt", `pkg: pared/internal/la
+BenchmarkDot-8    100   10 ns/op   0 B/op   0 allocs/op
+`)
+	out := filepath.Join(t.TempDir(), "base.json")
+	if code := runAllocsGuard("", out, 0.20, []string{run}); code != 0 {
+		t.Fatalf("write-baseline returned %d", code)
+	}
+	// The written file round-trips as a usable baseline.
+	if code := runAllocsGuard(out, "", 0.20, []string{run}); code != 0 {
+		t.Errorf("round-trip guard returned %d, want 0", code)
+	}
+}

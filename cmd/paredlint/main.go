@@ -20,13 +20,20 @@
 //	-errcheck      dropped error returns                          (default true)
 //	-sleep         time.Sleep as synchronization                  (default true)
 //	-collective    rank-gated par.Comm collectives (deadlocks)    (default true)
+//	-spmd          rank-divergent collective schedules (traces)   (default true)
 //	-kernpure      impure kern.For/ForChunks/Sum bodies           (default true)
 //	-scratchalias  *Scratch buffers shared across concurrency     (default true)
 //	-detfloat      order-dependent float accumulation             (default true)
+//	-hotalloc      allocations in //pared:hotpath functions       (default true)
+//
+// -only runs a single check by name (overriding the per-check toggles):
+//
+//	paredlint -only spmd ./...
 //
 // Output modes:
 //
-//	-json          emit one {check, file, line, msg, path} object per line
+//	-json          emit one {check, file, line, msg, path} object per line,
+//	               then one {timings: [{check, ms}, ...]} summary object
 //	-strict-allow  report //paredlint:allow directives that suppress nothing
 package main
 
@@ -50,20 +57,36 @@ type jsonDiag struct {
 	Path  []string `json:"path,omitempty"`
 }
 
+// jsonTiming is one per-check wall-time entry of the -json trailer object.
+type jsonTiming struct {
+	Check string  `json:"check"`
+	Ms    float64 `json:"ms"`
+}
+
 func main() {
 	enabled := make(map[string]*bool)
 	for _, c := range lint.AllChecks() {
 		enabled[c.Name] = flag.Bool(c.Name, true, c.Doc)
 	}
-	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line, then a timings summary object")
 	strictAllow := flag.Bool("strict-allow", false, "report stale //paredlint:allow directives as findings")
+	only := flag.String("only", "", "run a single check by name (overrides the per-check toggles)")
 	flag.Parse()
 
 	var checks []*lint.Check
 	for _, c := range lint.AllChecks() {
+		if *only != "" {
+			if c.Name == *only {
+				checks = append(checks, c)
+			}
+			continue
+		}
 		if *enabled[c.Name] {
 			checks = append(checks, c)
 		}
+	}
+	if *only != "" && len(checks) == 0 {
+		fatal(fmt.Errorf("unknown check %q", *only))
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -83,7 +106,7 @@ func main() {
 		fatal(err)
 	}
 
-	diags := lint.Run(pkgs, checks)
+	diags, timings := lint.RunTimed(pkgs, checks)
 	if *strictAllow {
 		diags = append(diags, lint.StaleAllows(pkgs, checks)...)
 	}
@@ -110,6 +133,15 @@ func main() {
 			msg += " (call path: " + strings.Join(d.Path, " -> ") + ")"
 		}
 		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, msg)
+	}
+	if *jsonOut {
+		ts := make([]jsonTiming, 0, len(timings))
+		for _, t := range timings {
+			ts = append(ts, jsonTiming{Check: t.Name, Ms: t.Ms})
+		}
+		if err := enc.Encode(map[string][]jsonTiming{"timings": ts}); err != nil {
+			fatal(err)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "paredlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+// The two refinement engines are the repartitioner's inner loop; their
+// allocs/op are guarded by BENCH_allocs.json (make bench-alloc-guard), so a
+// change that reintroduces per-move heap traffic — like the interface boxing
+// the typed pair queues replaced — fails CI rather than landing silently.
+
+func BenchmarkRefineKLTable(b *testing.B) {
+	p := 8
+	g, old := refinedScenario(24, p, 5)
+	cfg := Config{}.withDefaults()
+	cfg.UseGainTable = true
+	parts := make([]int32, len(old))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(parts, old)
+		refineKLTable(g, parts, old, p, cfg)
+	}
+}
+
+func BenchmarkRunKLScan(b *testing.B) {
+	p := 8
+	g, old := refinedScenario(24, p, 5)
+	cfg := Config{}.withDefaults()
+	parts := make([]int32, len(old))
+	s := new(klScratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(parts, old)
+		runKL(s, g, parts, old, p, cfg, false)
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"pared/internal/check"
 	"pared/internal/graph"
 )
@@ -41,13 +39,59 @@ func (q pairQueue) Less(a, b int) bool {
 	return q[a].v < q[b].v
 }
 func (q pairQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
-func (q *pairQueue) Push(x any)   { *q = append(*q, x.(tableEntry)) }
-func (q *pairQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
+
+// push and pop are a monomorphic port of container/heap's sift loops: going
+// through heap.Push(q, e) boxes every tableEntry into an interface, and these
+// queues sit on the KL inner loop. The sift order matches the stdlib exactly,
+// so pop order — and therefore move selection — is unchanged (the
+// table-vs-boundary-scan cross-check tests pin this).
+
+//pared:hotpath append=q
+func (q *pairQueue) push(e tableEntry) {
+	*q = append(*q, e)
+	q.up(len(*q) - 1)
+}
+
+//pared:hotpath
+func (q *pairQueue) pop() tableEntry {
+	n := len(*q) - 1
+	q.Swap(0, n)
+	q.down(0, n)
+	e := (*q)[n]
+	*q = (*q)[:n]
 	return e
+}
+
+//pared:hotpath
+func (q pairQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.Less(j, i) {
+			break
+		}
+		q.Swap(i, j)
+		j = i
+	}
+}
+
+//pared:hotpath
+func (q pairQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.Less(j2, j1) {
+			j = j2
+		}
+		if !q.Less(j, i) {
+			break
+		}
+		q.Swap(i, j)
+		i = j
+	}
 }
 
 // gainTable is the p×p priority-queue table.
@@ -87,6 +131,8 @@ func newGainTable(g *graph.Graph, parts, orig []int32, p int, cfg Config) *gainT
 }
 
 // gain computes the full 3-term gain for moving v from its part to j.
+//
+//pared:hotpath
 func (t *gainTable) gain(v, j int32, extI, extJ int64) float64 {
 	i := t.parts[v]
 	wv := t.g.VW[v]
@@ -104,6 +150,8 @@ func (t *gainTable) gain(v, j int32, extI, extJ int64) float64 {
 
 // pushMoves (re)inserts all candidate moves of boundary vertex v into the
 // queues of pairs (part(v), j) for each adjacent part j.
+//
+//pared:hotpath append=t.touched
 func (t *gainTable) pushMoves(v int32) {
 	t.stamps[v]++
 	i := t.parts[v]
@@ -120,7 +168,7 @@ func (t *gainTable) pushMoves(v int32) {
 			continue
 		}
 		q := &t.queues[int(i)*t.p+int(j)]
-		heap.Push(q, tableEntry{
+		q.push(tableEntry{
 			gain:  t.gain(v, j, t.extW[i], t.extW[j]),
 			v:     v,
 			stamp: t.stamps[v],
@@ -134,20 +182,22 @@ func (t *gainTable) pushMoves(v int32) {
 
 // refreshTop pops invalid entries off queue (i,j) until its top is current,
 // recomputing stale-epoch gains in place.
+//
+//pared:hotpath
 func (t *gainTable) refreshTop(i, j int) {
 	q := &t.queues[i*t.p+j]
 	for q.Len() > 0 {
 		top := (*q)[0]
 		if top.stamp != t.stamps[top.v] || t.locked[top.v] || int(t.parts[top.v]) != i {
-			heap.Pop(q)
+			q.pop()
 			continue
 		}
 		if top.epoch != t.epochs[i*t.p+j] {
 			// Weights of i or j changed: recompute the balance-dependent
 			// gain and reposition the entry.
-			heap.Pop(q)
+			q.pop()
 			extI, extJ := t.extTo(top.v, int32(i)), t.extTo(top.v, int32(j))
-			heap.Push(q, tableEntry{
+			q.push(tableEntry{
 				gain:  t.gain(top.v, int32(j), extI, extJ),
 				v:     top.v,
 				stamp: top.stamp,
@@ -160,6 +210,8 @@ func (t *gainTable) refreshTop(i, j int) {
 }
 
 // extTo returns the total edge weight from v to part j.
+//
+//pared:hotpath
 func (t *gainTable) extTo(v, j int32) int64 {
 	var s int64
 	t.g.Neighbors(v, func(u int32, w int64) {
@@ -171,6 +223,8 @@ func (t *gainTable) extTo(v, j int32) int64 {
 }
 
 // selectBest returns the overall best move (v, to, gain), or v = -1.
+//
+//pared:hotpath
 func (t *gainTable) selectBest() (v, to int32, gain float64) {
 	v = -1
 	for i := 0; i < t.p; i++ {
@@ -196,6 +250,8 @@ func (t *gainTable) selectBest() (v, to int32, gain float64) {
 
 // apply executes the move, bumping epochs of affected pairs and refreshing
 // the neighbor candidates.
+//
+//pared:hotpath
 func (t *gainTable) apply(v, to int32) {
 	from := t.parts[v]
 	t.parts[v] = to

@@ -27,6 +27,8 @@ const (
 // as before. When a vertex's precomputed candidate is still unmatched it
 // equals the serial choice (the argmax over a superset that is itself in the
 // subset); otherwise the commit falls back to the serial rescan.
+//
+//pared:hotpath
 func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int32 {
 	n := g.N()
 	match := make([]int32, n)
@@ -144,6 +146,7 @@ type ContractScratch struct {
 	ewBuf         []int64 // candidate weight slots
 }
 
+//pared:hotpath
 func growI32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
@@ -151,6 +154,7 @@ func growI32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
+//pared:hotpath
 func growI64(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n)
@@ -162,6 +166,8 @@ func growI64(s []int64, n int) []int64 {
 // coarse graph and the fine→coarse vertex map. Coarse vertex weights are sums
 // of their constituents'; parallel edges merge by weight; edges internal to a
 // matched pair disappear.
+//
+//pared:hotpath
 func Contract(g *Graph, match []int32) (*Graph, []int32) {
 	return ContractInto(g, match, nil)
 }
@@ -174,6 +180,8 @@ func Contract(g *Graph, match []int32) (*Graph, []int32) {
 // merges them in place (edge weights are int64, so merge order cannot change
 // sums), and the final CSR is stitched together in coarse-vertex order. The
 // result is byte-identical to the historical Builder-based contraction.
+//
+//pared:hotpath
 func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32) {
 	if s == nil {
 		s = new(ContractScratch)

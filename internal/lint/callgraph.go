@@ -48,6 +48,12 @@ var collectiveNames = map[string]bool{
 	"AllReduceSum": true,
 	"AllReduceMax": true,
 	"Alltoall":     true,
+	// Typed variants (par/typed.go) participate in the same collSeq ordering.
+	"AllReduceMaxSum": true,
+	"GatherInt32":     true,
+	"GatherInt64":     true,
+	"BcastInt32":      true,
+	"AlltoallBytes":   true,
 }
 
 // kernEntryNames are the kern entry points that run a caller-supplied body on
@@ -110,6 +116,17 @@ type Program struct {
 	nodes  map[*types.Func]*FuncNode
 	order  []*FuncNode            // nodes in file/position order (deterministic iteration)
 	byName map[string][]*FuncNode // method name → implementations (CHA-lite interface edges)
+
+	// spmd collective-trace summaries (spmd.go), computed on demand.
+	traceMemo map[*types.Func][]collEvent
+	traceOn   map[*types.Func]bool
+
+	// hotalloc memos (hotalloc.go), computed on demand: per-function direct
+	// allocation facts, pruned call-site lists, and call-only parameter
+	// verdicts.
+	allocMemo    map[*FuncNode][]allocFact
+	prunedMemo   map[*FuncNode][]callSite
+	callOnlyMemo map[*types.Func]map[int]bool
 }
 
 // BuildProgram indexes the packages and computes the call graph and effect

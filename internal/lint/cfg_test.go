@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns its CFG.
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(c bool, n int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// reachable returns the set of blocks reachable from entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := parseBody(t, "x := 1\n_ = x")
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Fatalf("straight-line body should fall through to exit, succs=%v", cfg.Entry.Succs)
+	}
+	if len(cfg.Entry.Stmts) != 2 {
+		t.Fatalf("entry stmts = %d, want 2", len(cfg.Entry.Stmts))
+	}
+	if len(cfg.Loops) != 0 {
+		t.Fatalf("no loops expected")
+	}
+}
+
+func TestCFGIfElseDiamond(t *testing.T) {
+	cfg := parseBody(t, "x := 0\nif c {\n x = 1\n} else {\n x = 2\n}\n_ = x")
+	cond := cfg.Entry
+	if len(cond.Conds) != 1 {
+		t.Fatalf("cond block should carry the if condition, got %d", len(cond.Conds))
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("if/else should have 2 successors, got %d", len(cond.Succs))
+	}
+	then, els := cond.Succs[0], cond.Succs[1]
+	if len(then.Succs) != 1 || len(els.Succs) != 1 || then.Succs[0] != els.Succs[0] {
+		t.Fatalf("then/else must rejoin at one block")
+	}
+	join := then.Succs[0]
+	if len(join.Succs) != 1 || join.Succs[0] != cfg.Exit {
+		t.Fatalf("join should reach exit")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	cfg := parseBody(t, "if c {\n _ = 1\n}\n_ = 2")
+	cond := cfg.Entry
+	if len(cond.Succs) != 2 {
+		t.Fatalf("if should have [then, join] successors, got %d", len(cond.Succs))
+	}
+	then, join := cond.Succs[0], cond.Succs[1]
+	if len(then.Succs) != 1 || then.Succs[0] != join {
+		t.Fatalf("then must fall through to the join block")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := parseBody(t, "for i := 0; i < n; i++ {\n _ = i\n}\n_ = 1")
+	if len(cfg.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(cfg.Loops))
+	}
+	l := cfg.Loops[0]
+	head := l.Head
+	if len(head.Conds) != 1 {
+		t.Fatalf("loop head should carry the condition")
+	}
+	if head.Loop != l {
+		t.Fatalf("head must be inside its own loop")
+	}
+	// Succs = [body, after]; body is in the loop, after is not.
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop head should have [body, after] successors, got %d", len(head.Succs))
+	}
+	body, after := head.Succs[0], head.Succs[1]
+	if !l.Contains(body) {
+		t.Fatalf("body must be inside the loop")
+	}
+	if l.Contains(after) {
+		t.Fatalf("after block must be outside the loop")
+	}
+	// The body must loop back to the head (via the post block).
+	seen := map[*Block]bool{}
+	cur := body
+	for !seen[cur] {
+		seen[cur] = true
+		if len(cur.Succs) != 1 {
+			t.Fatalf("loop body chain should be unconditional")
+		}
+		cur = cur.Succs[0]
+		if cur == head {
+			return
+		}
+	}
+	t.Fatalf("loop body never returned to head")
+}
+
+func TestCFGRangeBreakContinue(t *testing.T) {
+	cfg := parseBody(t, "for range make([]int, n) {\n if c {\n  break\n }\n if !c {\n  continue\n }\n _ = 1\n}\n_ = 2")
+	if len(cfg.Loops) != 1 {
+		t.Fatalf("want 1 loop")
+	}
+	l := cfg.Loops[0]
+	head := l.Head
+	after := head.Succs[1]
+	if l.Contains(after) {
+		t.Fatalf("after must be outside the loop")
+	}
+	// Find the break and continue edges among the loop's blocks.
+	var sawBreak, sawContinue bool
+	for _, b := range cfg.Blocks {
+		if !l.Contains(b) {
+			continue
+		}
+		for _, s := range b.Stmts {
+			br, ok := s.(*ast.BranchStmt)
+			if !ok {
+				continue
+			}
+			switch br.Tok {
+			case token.BREAK:
+				if len(b.Succs) == 1 && b.Succs[0] == after {
+					sawBreak = true
+				}
+			case token.CONTINUE:
+				if len(b.Succs) == 1 && b.Succs[0] == head {
+					sawContinue = true
+				}
+			}
+		}
+	}
+	if !sawBreak || !sawContinue {
+		t.Fatalf("break->after=%v continue->head=%v", sawBreak, sawContinue)
+	}
+}
+
+func TestCFGNestedLoopsDistinct(t *testing.T) {
+	cfg := parseBody(t, "for i := 0; i < n; i++ {\n for j := 0; j < n; j++ {\n  _ = j\n }\n}")
+	if len(cfg.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(cfg.Loops))
+	}
+	outer, inner := cfg.Loops[0], cfg.Loops[1]
+	if inner.Parent != outer {
+		t.Fatalf("inner loop's parent must be the outer loop")
+	}
+	if !outer.Contains(inner.Head) {
+		t.Fatalf("outer loop must contain the inner head")
+	}
+	if inner.Contains(outer.Head) {
+		t.Fatalf("inner loop must not contain the outer head")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := parseBody(t, "outer:\nfor i := 0; i < n; i++ {\n for j := 0; j < n; j++ {\n  if c {\n   break outer\n  }\n }\n}\n_ = 1")
+	outer := cfg.Loops[0]
+	// Find the `break outer` block: it must jump straight out of both loops.
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.BREAK && br.Label != nil {
+				if len(b.Succs) != 1 {
+					t.Fatalf("break block should have one successor")
+				}
+				if outer.Contains(b.Succs[0]) {
+					t.Fatalf("break outer must leave the outer loop")
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("no labeled break found")
+}
+
+func TestCFGReturnAndPanicReachExit(t *testing.T) {
+	cfg := parseBody(t, "if c {\n return\n}\npanic(\"boom\")")
+	reach := reachable(cfg)
+	if !reach[cfg.Exit] {
+		t.Fatalf("exit must be reachable")
+	}
+	// Both the return block and the panic block must edge to Exit.
+	n := 0
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s == cfg.Exit {
+				n++
+			}
+		}
+	}
+	if n < 2 {
+		t.Fatalf("want return and panic edges to exit, got %d", n)
+	}
+}
+
+func TestCFGSwitchFanout(t *testing.T) {
+	cfg := parseBody(t, "switch n {\ncase 1:\n _ = 1\ncase 2:\n _ = 2\ndefault:\n _ = 3\n}\n_ = 4")
+	head := cfg.Entry
+	if len(head.Succs) != 3 {
+		t.Fatalf("switch with default should have 3 successors, got %d", len(head.Succs))
+	}
+	// Tag + two case expressions.
+	if len(head.Conds) != 3 {
+		t.Fatalf("switch head should carry tag and case exprs, got %d", len(head.Conds))
+	}
+	join := head.Succs[0].Succs[0]
+	for _, s := range head.Succs {
+		if len(s.Succs) != 1 || s.Succs[0] != join {
+			t.Fatalf("all cases must rejoin at one block")
+		}
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsThrough(t *testing.T) {
+	cfg := parseBody(t, "switch n {\ncase 1:\n _ = 1\n}\n_ = 2")
+	head := cfg.Entry
+	// One case body plus the implicit no-match edge to the after block.
+	if len(head.Succs) != 2 {
+		t.Fatalf("switch without default should include a no-match edge, got %d succs", len(head.Succs))
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	cfg := parseBody(t, "switch n {\ncase 1:\n fallthrough\ncase 2:\n _ = 2\n}")
+	head := cfg.Entry
+	case1, case2 := head.Succs[0], head.Succs[1]
+	if len(case1.Succs) != 1 || case1.Succs[0] != case2 {
+		t.Fatalf("fallthrough must edge into the next case body")
+	}
+}
+
+func TestCFGDeadCodeUnreachable(t *testing.T) {
+	cfg := parseBody(t, "return\n_ = 1")
+	reach := reachable(cfg)
+	for _, b := range cfg.Blocks {
+		if len(b.Stmts) == 1 {
+			if _, ok := b.Stmts[0].(*ast.AssignStmt); ok && reach[b] {
+				t.Fatalf("statements after return must be unreachable from entry")
+			}
+		}
+	}
+}

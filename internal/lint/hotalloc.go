@@ -1,0 +1,702 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The hotalloc check proves functions marked //pared:hotpath allocation-free.
+// The directive is a contract: the function (and everything it calls outside
+// the audited kern/par runtimes and other annotated functions) performs no
+// hidden heap allocation. Flagged constructs:
+//
+//   - append whose destination is not named in the directive's append= list
+//     (named destinations are the amortized/reserved-capacity slices the
+//     function is allowed to grow);
+//   - map and slice composite literals;
+//   - interface boxing at call sites: a non-pointer-shaped concrete value
+//     passed to an interface parameter (including variadic ...any), or an
+//     explicit conversion to an interface type — constants are exempt (the
+//     compiler materializes them in static data);
+//   - variadic calls, which allocate the argument slice;
+//   - string concatenation (unless constant-folded);
+//   - closures that capture locals and escape. A capturing closure is exempt
+//     when the analysis can see it does not escape: invoked directly
+//     (including defer), passed to a kern entry, passed to a parameter used
+//     only in call position (Neighbors-style callbacks, plus a small stdlib
+//     allowlist), or bound once to a local that is itself only invoked or
+//     passed to such parameters.
+//
+// make, new and &T{} are not flagged: they are syntactically visible,
+// deliberate allocations (the scratch-growth idiom), and the benchguard
+// allocs/op gate bounds their amortized cost.
+//
+// Findings propagate through the call graph: a call from a hotpath function
+// into an unannotated function that allocates is reported at the call site
+// with the witnessing path. Branches dead under compile-time-false
+// conditions (the check.Enabled assert hooks) and panic arguments are
+// exempt. Callee-package //paredlint:allow hotalloc directives are honored.
+
+// allocFact is one direct allocation in an unannotated function, recorded
+// for call-graph propagation.
+type allocFact struct {
+	pos  token.Pos
+	desc string
+}
+
+var (
+	hotpathMarkRE = regexp.MustCompile(`^//\s*pared:hotpath\b`)
+	hotpathRE     = regexp.MustCompile(`^//\s*pared:hotpath(?:\s+append=([\w.,]+))?\s*(?:--.*)?$`)
+)
+
+// hotpathDirective parses a //pared:hotpath directive from a declaration's
+// doc comment. malformed is set when the marker is present but unparsable.
+func hotpathDirective(fd *ast.FuncDecl) (found bool, appendOK map[string]bool, malformed bool) {
+	if fd == nil || fd.Doc == nil {
+		return false, nil, false
+	}
+	for _, c := range fd.Doc.List {
+		if !hotpathMarkRE.MatchString(c.Text) {
+			continue
+		}
+		m := hotpathRE.FindStringSubmatch(c.Text)
+		if m == nil {
+			return true, nil, true
+		}
+		ok := make(map[string]bool)
+		if m[1] != "" {
+			for _, t := range strings.Split(m[1], ",") {
+				ok[t] = true
+			}
+		}
+		return true, ok, false
+	}
+	return false, nil, false
+}
+
+// exprRootString renders an append destination for matching against the
+// directive's append= list: "x" for locals/params, "r.field" for one-level
+// field destinations.
+func exprRootString(e ast.Expr) string {
+	root, field := splitRootField(e)
+	if root == nil {
+		return "?"
+	}
+	if field != "" {
+		return root.Name + "." + field
+	}
+	return root.Name
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit a single pointer word, so
+// converting them to an interface stores the value directly with no heap
+// allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// constFalse reports whether e is a compile-time-false condition (the
+// check.Enabled / assertEnabled hooks that are dead in the default build).
+func constFalse(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}
+
+// stdlibCallOnly is the allowlist of external parameters known to only
+// invoke the callbacks handed to them.
+func stdlibCallOnly(fn *types.Func, i int) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "math/rand.Shuffle":
+		return i == 1
+	case "sort.Search":
+		return i == 1
+	}
+	return false
+}
+
+func sigOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// callOnlyParam reports whether parameter i of fn is used only in call
+// position (or compared to nil) by every implementation — a callback the
+// callee invokes but never stores, so a closure argument does not escape.
+func (prog *Program) callOnlyParam(fn *types.Func, i int) bool {
+	if prog.callOnlyMemo == nil {
+		prog.callOnlyMemo = make(map[*types.Func]map[int]bool)
+	}
+	if byIdx, ok := prog.callOnlyMemo[fn]; ok {
+		if v, ok := byIdx[i]; ok {
+			return v
+		}
+	} else {
+		prog.callOnlyMemo[fn] = make(map[int]bool)
+	}
+	res := prog.callOnlyParamUncached(fn, i)
+	prog.callOnlyMemo[fn][i] = res
+	return res
+}
+
+func (prog *Program) callOnlyParamUncached(fn *types.Func, i int) bool {
+	nodes := prog.resolve(fn)
+	if len(nodes) == 0 {
+		return stdlibCallOnly(fn, i)
+	}
+	for _, n := range nodes {
+		if n.Decl == nil || n.Decl.Body == nil {
+			return false
+		}
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok || i >= sig.Params().Len() {
+			return false
+		}
+		pv := sig.Params().At(i)
+		if _, isFunc := pv.Type().Underlying().(*types.Signature); !isFunc {
+			return false
+		}
+		if !varCallOnlyIn(n.Pkg.Info, n.Decl.Body, pv, nil) {
+			return false
+		}
+	}
+	return true
+}
+
+// varCallOnlyIn reports whether every use of v inside body is in call
+// position or a nil comparison, and none is inside a nested function literal
+// (a capture would make the callback escape after all). extraOK marks
+// additional use positions the caller has already vetted.
+func varCallOnlyIn(info *types.Info, body ast.Node, v *types.Var, extraOK map[token.Pos]bool) bool {
+	okPos := make(map[token.Pos]bool)
+	for pos := range extraOK {
+		okPos[pos] = true
+	}
+	var litSpans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			litSpans = append(litSpans, [2]token.Pos{x.Pos(), x.End()})
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && info.Uses[id] == v {
+				okPos[id.Pos()] = true
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if id, ok := unparen(side).(*ast.Ident); ok && info.Uses[id] == v {
+						okPos[id.Pos()] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID || info.Uses[id] != v {
+			return true
+		}
+		if !okPos[id.Pos()] {
+			ok = false
+			return true
+		}
+		for _, span := range litSpans {
+			if id.Pos() > span[0] && id.Pos() < span[1] {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// closureCaptures lists the enclosing-function variables lit captures.
+// Non-capturing literals are static and never allocate.
+func closureCaptures(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() || isPkgLevel(v) {
+			return true
+		}
+		if isCapturedBy(lit, v) {
+			seen[v] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// hotScan walks one function body flagging direct allocations. It is used
+// both to verify annotated bodies (reporting through the pass) and to
+// summarize unannotated callees (collecting allocFacts).
+type hotScan struct {
+	p        *Pass
+	prog     *Program
+	appendOK map[string]bool
+	exempt   map[*ast.FuncLit]bool
+	report   func(pos token.Pos, desc string)
+	// checkCalls, when set, propagates through the call graph at each call
+	// site (annotated bodies only; callee summaries stay direct).
+	checkCalls func(call *ast.CallExpr, fn *types.Func)
+}
+
+func newHotScan(p *Pass, prog *Program, fd *ast.FuncDecl, appendOK map[string]bool, report func(pos token.Pos, desc string)) *hotScan {
+	return &hotScan{
+		p:        p,
+		prog:     prog,
+		appendOK: appendOK,
+		exempt:   exemptLits(p, prog, fd.Body),
+		report:   report,
+	}
+}
+
+// exemptLits computes the closure-escape exemption set for one body.
+func exemptLits(p *Pass, prog *Program, body ast.Node) map[*ast.FuncLit]bool {
+	exempt := make(map[*ast.FuncLit]bool)
+
+	argExempt := func(call *ast.CallExpr, fn *types.Func, argLit func(ast.Expr) bool) {
+		if fn == nil {
+			return
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		for i, arg := range call.Args {
+			if !argLit(arg) {
+				continue
+			}
+			pi := i
+			if sig != nil && sig.Variadic() && i >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if isKernEntry(fn) || stdlibCallOnly(fn, pi) || prog.callOnlyParam(fn, pi) {
+				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+					exempt[lit] = true
+				}
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Invoked directly (including defer): the closure does not outlive
+		// the frame. Goroutine literals are rawconc's domain.
+		if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+			exempt[lit] = true
+		}
+		fn := calleeOf(p.Info, call)
+		argExempt(call, fn, func(arg ast.Expr) bool {
+			_, isLit := unparen(arg).(*ast.FuncLit)
+			return isLit
+		})
+		return true
+	})
+
+	// Once-bound locals: `f := func(...){...}` is exempt when every use of f
+	// is an invocation or a vetted callback argument. The analysis runs once
+	// per literal scope (the whole body, then each nested literal's body), so
+	// a helper hoisted inside a kern body literal is judged against its own
+	// scope — uses there are direct calls, not captures — while a variable
+	// declared in one scope and leaked into a deeper literal stays inexempt.
+	scopes := []ast.Node{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, lit.Body)
+		}
+		return true
+	})
+	for _, scope := range scopes {
+		for v, lit := range litBindings(p, scope) {
+			if lit == nil || exempt[lit] {
+				continue
+			}
+			if v.Pos() < scope.Pos() || v.Pos() >= scope.End() {
+				continue // declared outside this scope: uses elsewhere possible
+			}
+			if boundVarNonEscaping(p, prog, scope, v) {
+				exempt[lit] = true
+			}
+		}
+	}
+	return exempt
+}
+
+// boundVarNonEscaping reports whether local v (bound once to a literal) is
+// only invoked or passed to call-only parameters.
+func boundVarNonEscaping(p *Pass, prog *Program, body ast.Node, v *types.Var) bool {
+	extraOK := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		for i, arg := range call.Args {
+			id, ok := unparen(arg).(*ast.Ident)
+			if !ok || p.Info.Uses[id] != v {
+				continue
+			}
+			pi := i
+			if sig != nil && sig.Variadic() && i >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if isKernEntry(fn) || stdlibCallOnly(fn, pi) || prog.callOnlyParam(fn, pi) {
+				extraOK[id.Pos()] = true
+			}
+		}
+		return true
+	})
+	return varCallOnlyIn(p.Info, body, v, extraOK)
+}
+
+// scan drives the walk with dead-branch and panic-argument pruning.
+func (h *hotScan) scan(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		return h.visit(n)
+	})
+}
+
+func (h *hotScan) rescan(n ast.Node) {
+	if n != nil {
+		ast.Inspect(n, func(x ast.Node) bool { return h.visit(x) })
+	}
+}
+
+func (h *hotScan) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.IfStmt:
+		if constFalse(h.p.Info, x.Cond) {
+			// Dead under the default build (assert hooks): skip the body,
+			// keep init and else live.
+			h.rescan(x.Init)
+			h.rescan(x.Else)
+			return false
+		}
+	case *ast.CallExpr:
+		return h.visitCall(x)
+	case *ast.CompositeLit:
+		switch h.p.TypeOf(x).Underlying().(type) {
+		case *types.Map:
+			h.report(x.Pos(), "map literal allocates")
+		case *types.Slice:
+			h.report(x.Pos(), "slice literal allocates")
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && isStringType(h.p.TypeOf(x)) {
+			if tv, ok := h.p.Info.Types[x]; !ok || tv.Value == nil {
+				h.report(x.Pos(), "string concatenation allocates")
+				return false // one report per concat chain
+			}
+		}
+	case *ast.AssignStmt:
+		if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(h.p.TypeOf(x.Lhs[0])) {
+			h.report(x.Pos(), "string concatenation allocates")
+		}
+	case *ast.FuncLit:
+		if !h.exempt[x] {
+			if caps := closureCaptures(h.p.Info, x); len(caps) > 0 {
+				h.report(x.Pos(), fmt.Sprintf("closure capturing %s escapes to the heap", strings.Join(caps, ", ")))
+			}
+		}
+		// Keep scanning the literal body: it runs on the hot path too.
+	}
+	return true
+}
+
+func (h *hotScan) visitCall(call *ast.CallExpr) bool {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := h.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "panic":
+				// Failure path: diagnostic formatting may allocate.
+				return false
+			case "append":
+				if len(call.Args) > 0 {
+					root := exprRootString(call.Args[0])
+					if !h.appendOK[root] {
+						h.report(call.Pos(), fmt.Sprintf("append to %q may grow the backing array (not in the directive's append= list)", root))
+					}
+				}
+			}
+			return true // make/new are visible, deliberate allocations
+		}
+	}
+	// Explicit conversion to an interface type.
+	if tv, ok := h.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterfaceType(tv.Type) && len(call.Args) == 1 {
+			h.boxCheck(call.Args[0], tv.Type, "conversion")
+		}
+		return true
+	}
+	sig := sigOf(h.p.Info, call)
+	if sig != nil {
+		h.boxingAtParams(call, sig)
+	}
+	if h.checkCalls != nil {
+		if fn := calleeOf(h.p.Info, call); fn != nil {
+			h.checkCalls(call, fn)
+		}
+	}
+	return true
+}
+
+func (h *hotScan) boxingAtParams(call *ast.CallExpr, sig *types.Signature) {
+	np := sig.Params().Len()
+	variadicCall := sig.Variadic() && !call.Ellipsis.IsValid()
+	if variadicCall && len(call.Args) >= np {
+		h.report(call.Pos(), "variadic call allocates the argument slice")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // the slice is passed through as-is
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if isInterfaceType(pt) {
+			h.boxCheck(arg, pt, fmt.Sprintf("argument %d", i+1))
+		}
+	}
+}
+
+func (h *hotScan) boxCheck(arg ast.Expr, ifaceType types.Type, where string) {
+	at := h.p.TypeOf(arg)
+	if at == nil || isInterfaceType(at) || pointerShaped(at) {
+		return
+	}
+	if tv, ok := h.p.Info.Types[arg]; ok && tv.Value != nil {
+		return // constants box into static data
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	h.report(arg.Pos(), fmt.Sprintf("%s boxes %s into %s (allocates)", where, types.TypeString(at, nil), types.TypeString(ifaceType, nil)))
+}
+
+// --- call-graph propagation -------------------------------------------------
+
+// skipAllocNode: callees the propagation trusts — the audited runtimes and
+// functions carrying their own //pared:hotpath contract (verified at their
+// own declaration).
+func (prog *Program) skipAllocNode(n *FuncNode) bool {
+	if n.Pkg.Path == parPath || n.Pkg.Path == kernPath {
+		return true
+	}
+	found, _, _ := hotpathDirective(n.Decl)
+	return found
+}
+
+// allocFacts summarizes the direct allocations of an unannotated function,
+// honoring its package's //paredlint:allow hotalloc suppressions.
+func (prog *Program) allocFacts(n *FuncNode) []allocFact {
+	if prog.allocMemo == nil {
+		prog.allocMemo = make(map[*FuncNode][]allocFact)
+	}
+	if f, ok := prog.allocMemo[n]; ok {
+		return f
+	}
+	facts := []allocFact{}
+	if n.Decl != nil && n.Decl.Body != nil {
+		if n.Pkg.allows == nil {
+			n.Pkg.buildAllows()
+		}
+		p := &Pass{Package: n.Pkg, Prog: prog}
+		h := newHotScan(p, prog, n.Decl, nil, func(pos token.Pos, desc string) {
+			if !n.Pkg.allowed("hotalloc", p.Fset.Position(pos)) {
+				facts = append(facts, allocFact{pos: pos, desc: desc})
+			}
+		})
+		h.scan(n.Decl.Body)
+	}
+	prog.allocMemo[n] = facts
+	return facts
+}
+
+// prunedCallsOf lists a function's call sites with the same dead-branch and
+// panic pruning the direct scan applies (n.calls would include assert-only
+// calls).
+func (prog *Program) prunedCallsOf(n *FuncNode) []callSite {
+	if prog.prunedMemo == nil {
+		prog.prunedMemo = make(map[*FuncNode][]callSite)
+	}
+	if cs, ok := prog.prunedMemo[n]; ok {
+		return cs
+	}
+	calls := []callSite{}
+	if n.Decl != nil && n.Decl.Body != nil {
+		var walk func(x ast.Node) bool
+		walk = func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.IfStmt:
+				if constFalse(n.Pkg.Info, x.Cond) {
+					if x.Init != nil {
+						ast.Inspect(x.Init, walk)
+					}
+					if x.Else != nil {
+						ast.Inspect(x.Else, walk)
+					}
+					return false
+				}
+			case *ast.CallExpr:
+				if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := n.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+						return false
+					}
+				}
+				if fn := calleeOf(n.Pkg.Info, x); fn != nil {
+					calls = append(calls, callSite{pos: x.Pos(), callee: fn})
+				}
+			}
+			return true
+		}
+		ast.Inspect(n.Decl.Body, walk)
+	}
+	prog.prunedMemo[n] = calls
+	return calls
+}
+
+// findAllocFact searches transitively for the first allocation reachable
+// from n, returning the witnessing call path.
+func (prog *Program) findAllocFact(n *FuncNode, seen map[*FuncNode]bool) (allocFact, []string, bool) {
+	if seen[n] {
+		return allocFact{}, nil, false
+	}
+	seen[n] = true
+	if facts := prog.allocFacts(n); len(facts) > 0 {
+		return facts[0], []string{displayName(n.Fn)}, true
+	}
+	for _, cs := range prog.prunedCallsOf(n) {
+		if isCollective(cs.callee) || isKernEntry(cs.callee) {
+			continue
+		}
+		for _, cn := range prog.resolve(cs.callee) {
+			if prog.skipAllocNode(cn) {
+				continue
+			}
+			if f, path, ok := prog.findAllocFact(cn, seen); ok {
+				return f, append([]string{displayName(n.Fn)}, path...), true
+			}
+		}
+	}
+	return allocFact{}, nil, false
+}
+
+var HotAlloc = &Check{
+	Name: "hotalloc",
+	Doc:  "functions marked //pared:hotpath must be allocation-free (appends beyond the annotated set, map/slice literals, interface boxing, escaping closures, string concatenation), transitively through the call graph",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			found, appendOK, malformed := hotpathDirective(fd)
+			if !found {
+				continue
+			}
+			if malformed {
+				p.Reportf(fd.Pos(), "malformed //pared:hotpath directive (want //pared:hotpath [append=name,recv.field,...])")
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			h := newHotScan(p, p.Prog, fd, appendOK, func(pos token.Pos, desc string) {
+				p.Reportf(pos, "hotpath function %s: %s", fd.Name.Name, desc)
+			})
+			h.checkCalls = func(call *ast.CallExpr, callee *types.Func) {
+				if isCollective(callee) || isKernEntry(callee) {
+					return
+				}
+				seen := make(map[*FuncNode]bool)
+				if fn != nil {
+					if self := p.Prog.NodeOf(fn); self != nil {
+						seen[self] = true // self-recursion is covered by the direct scan
+					}
+				}
+				for _, cn := range p.Prog.resolve(callee) {
+					if p.Prog.skipAllocNode(cn) {
+						continue
+					}
+					if fact, path, ok := p.Prog.findAllocFact(cn, seen); ok {
+						fp := p.Fset.Position(fact.pos)
+						full := append([]string{fd.Name.Name}, path...)
+						p.ReportPathf(call.Pos(), full,
+							"hotpath function %s calls %s which allocates: %s (%s:%d)",
+							fd.Name.Name, displayName(callee), fact.desc, relBase(fp.Filename), fp.Line)
+						return
+					}
+				}
+			}
+			h.scan(fd.Body)
+		}
+	}
+}
+
+// relBase trims a path to its final element for compact diagnostics.
+func relBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

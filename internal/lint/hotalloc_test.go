@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestSeededBugKernMapSmuggle is the hotalloc seeded-bug acceptance test: a
+// map literal smuggled into a kern body via a helper must be flagged at the
+// call site inside the kern body, with the witnessing path.
+func TestSeededBugKernMapSmuggle(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc")
+	diags := Run([]*Package{pkg}, []*Check{HotAlloc})
+	var hit *Diagnostic
+	for i, d := range diags {
+		if strings.Contains(d.Msg, "lookupMap") {
+			hit = &diags[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("map literal hidden behind a helper in a kern body was not flagged; got %d diags", len(diags))
+	}
+	if !strings.Contains(hit.Msg, "map literal allocates") {
+		t.Errorf("finding should name the allocation: %s", hit.Msg)
+	}
+	joined := strings.Join(hit.Path, " -> ")
+	if !strings.Contains(joined, "hotKernSmuggle") || !strings.Contains(joined, "lookupMap") {
+		t.Errorf("finding should carry the path from the hotpath function to the allocation, got %v", hit.Path)
+	}
+}
+
+// TestHotAllocDeepPath checks the two-level propagation carries the full
+// chain hotDeep -> viaHelper -> lookupSlice.
+func TestHotAllocDeepPath(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc")
+	diags := Run([]*Package{pkg}, []*Check{HotAlloc})
+	for _, d := range diags {
+		if !strings.Contains(d.Msg, "viaHelper") {
+			continue
+		}
+		joined := strings.Join(d.Path, " -> ")
+		for _, frag := range []string{"hotDeep", "viaHelper", "lookupSlice"} {
+			if !strings.Contains(joined, frag) {
+				t.Errorf("path missing %s: %v", frag, d.Path)
+			}
+		}
+		return
+	}
+	t.Fatalf("no finding for the two-level hidden allocation")
+}
+
+// TestHotAllocEscapeCrossValidation runs the compiler's escape analysis
+// (go build -gcflags=-m) over the hotallocescape fixture and requires
+// agreement: every line hotalloc flags carries a compiler escape report, and
+// the clean kernel draws neither.
+func TestHotAllocEscapeCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	pkg := loadFixture(t, "hotallocescape")
+	diags := Run([]*Package{pkg}, []*Check{HotAlloc})
+	flagged := make(map[int]string)
+	for _, d := range diags {
+		flagged[d.Pos.Line] = d.Msg
+	}
+	if len(flagged) == 0 {
+		t.Fatalf("hotalloc found nothing in the escape fixture")
+	}
+
+	cmd := exec.Command(goBin, "build", "-gcflags=-m", "./internal/lint/testdata/src/hotallocescape/")
+	cmd.Dir = moduleRootForTest(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	escRE := regexp.MustCompile(`escape\.go:(\d+):\d+: .*escapes to heap`)
+	escaped := make(map[int]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		if m := escRE.FindStringSubmatch(line); m != nil {
+			n := 0
+			for _, ch := range m[1] {
+				n = n*10 + int(ch-'0')
+			}
+			escaped[n] = true
+		}
+	}
+	if len(escaped) == 0 {
+		t.Fatalf("compiler reported no escapes:\n%s", out)
+	}
+
+	// Locate the fixture's markers so the comparison is anchored to intent,
+	// not just to whatever both tools happened to say.
+	src := fixtureLines(t, pkg)
+	for line, text := range src {
+		switch {
+		case strings.Contains(text, "// ESCAPE"):
+			if _, ok := flagged[line]; !ok {
+				t.Errorf("line %d (%s): compiler-verified escape not flagged by hotalloc", line, strings.TrimSpace(text))
+			}
+			if !escaped[line] {
+				t.Errorf("line %d: seeded construct no longer escapes per the compiler; update the fixture", line)
+			}
+		case strings.Contains(text, "// CLEAN"):
+			// No finding and no escape anywhere in the clean function body
+			// (marker line through end of file).
+			for l := line; l <= maxLine(src); l++ {
+				if msg, ok := flagged[l]; ok {
+					t.Errorf("clean kernel flagged at line %d: %s", l, msg)
+				}
+				if escaped[l] {
+					t.Errorf("clean kernel escapes at line %d per the compiler", l)
+				}
+			}
+		}
+	}
+	// And the agreement must be exact on the flagged side: hotalloc verdicts
+	// at lines the compiler proved allocation-free would be false positives.
+	for line, msg := range flagged {
+		if !escaped[line] {
+			t.Errorf("hotalloc flagged line %d (%s) but the compiler reports no escape there", line, msg)
+		}
+	}
+}
+
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.ModuleRoot
+}
+
+// fixtureLines maps line number → source text of a single-file fixture.
+func fixtureLines(t *testing.T, pkg *Package) map[int]string {
+	t.Helper()
+	if len(pkg.Files) != 1 {
+		t.Fatalf("expected a single-file fixture")
+	}
+	name := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int]string)
+	for i, l := range strings.Split(string(data), "\n") {
+		out[i+1] = l
+	}
+	return out
+}
+
+func maxLine(src map[int]string) int {
+	max := 0
+	for l := range src {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

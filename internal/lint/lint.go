@@ -18,12 +18,17 @@
 //	sleep    — no time.Sleep used as synchronization in library code
 //
 // On top of the per-file checks sits a whole-program, type- and flow-aware
-// layer (callgraph.go, flow.go) with four more checks:
+// layer (callgraph.go, flow.go, cfg.go) with six more checks:
 //
 //	collective   — a par.Comm collective reachable only under rank-dependent
 //	               control flow (branch, loop bound, early return) is a
 //	               deadlock: every rank must call collectives in the same
 //	               order. Traced interprocedurally with a call path.
+//	spmd         — path-sensitive SPMD protocol verification: per-path
+//	               collective traces are extracted over the CFG and any
+//	               rank-tainted branch must rejoin with identical traces;
+//	               mismatches are reported as two concrete call paths with
+//	               their traces (spmd.go).
 //	kernpure     — closures passed to kern.For/ForChunks/Sum may write only
 //	               chunk-owned locations: no captured-variable writes outside
 //	               chunk-derived indices, no appends to shared slices, no
@@ -34,6 +39,11 @@
 //	detfloat     — float accumulation in map-iteration order or inside kern
 //	               bodies (outside kern.Sum's ordered reducer) breaks
 //	               bit-reproducibility.
+//	hotalloc     — functions marked //pared:hotpath must be allocation-free:
+//	               appends beyond the annotated set, map/slice literals,
+//	               interface boxing, escaping closures, and string
+//	               concatenation are flagged, transitively through the call
+//	               graph (hotalloc.go).
 //
 // The analyzer is stdlib-only (go/parser, go/ast, go/types); see
 // cmd/paredlint for the command-line driver.
@@ -52,6 +62,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned at file:line:col. Path, when
@@ -81,10 +92,11 @@ type Check struct {
 }
 
 // AllChecks lists every check in the suite, in reporting order. The first
-// five are the per-file syntactic checks; the last four are the flow-aware
-// checks built on the whole-program call graph (see callgraph.go).
+// five are the per-file syntactic checks; the rest are the flow-aware checks
+// built on the whole-program call graph (callgraph.go) and the CFG layer
+// (cfg.go).
 func AllChecks() []*Check {
-	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep, Collective, KernPure, ScratchAlias, DetFloat}
+	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep, Collective, SPMD, KernPure, ScratchAlias, DetFloat, HotAlloc}
 }
 
 // Package is one loaded, type-checked package.
@@ -264,18 +276,38 @@ func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
 // sorted by position. The whole-program call graph is built once and shared
 // by every pass.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	diags, _ := RunTimed(pkgs, checks)
+	return diags
+}
+
+// CheckTiming is the wall time one check (or the shared call-graph build,
+// reported under the pseudo-name "callgraph") spent across all packages.
+type CheckTiming struct {
+	Name string
+	Ms   float64
+}
+
+// RunTimed is Run, also returning per-check wall times so the CI timing
+// guard stays diagnosable as checks accumulate.
+func RunTimed(pkgs []*Package, checks []*Check) ([]Diagnostic, []CheckTiming) {
+	t0 := time.Now()
 	prog := BuildProgram(pkgs)
+	timings := []CheckTiming{{Name: "callgraph", Ms: float64(time.Since(t0).Microseconds()) / 1000}}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if pkg.allows == nil {
 			pkg.buildAllows()
 		}
-		for _, c := range checks {
+	}
+	for _, c := range checks {
+		tc := time.Now()
+		for _, pkg := range pkgs {
 			c.Run(&Pass{Package: pkg, Prog: prog, check: c, out: &diags})
 		}
+		timings = append(timings, CheckTiming{Name: c.Name, Ms: float64(time.Since(tc).Microseconds()) / 1000})
 	}
 	sortDiags(diags)
-	return diags
+	return diags, timings
 }
 
 func sortDiags(diags []Diagnostic) {

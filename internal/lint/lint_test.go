@@ -33,9 +33,11 @@ func TestFixtures(t *testing.T) {
 		{ErrCheck, "errcheck"},
 		{Sleep, "sleep"},
 		{Collective, "collective"},
+		{SPMD, "spmd"},
 		{KernPure, "kernpure"},
 		{ScratchAlias, "scratchalias"},
 		{DetFloat, "detfloat"},
+		{HotAlloc, "hotalloc"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check.Name, func(t *testing.T) {

@@ -1,0 +1,190 @@
+// Package hotalloc is a paredlint fixture for the hotalloc check: functions
+// marked //pared:hotpath must be allocation-free. Positives cover every
+// flagged construct plus allocations hidden behind calls (including a map
+// literal smuggled into a kern body via a helper); negatives cover the
+// exemption rules (annotated appends, make/new, panic paths, non-escaping
+// closures, annotated callees, allow suppression).
+package hotalloc
+
+import (
+	"fmt"
+
+	"pared/internal/kern"
+)
+
+// hotLits allocates twice in plain sight.
+//
+//pared:hotpath
+func hotLits(k int) int {
+	m := map[int]int{k: 1} // want "map literal allocates"
+	s := []int{k, 2}       // want "slice literal allocates"
+	return m[k] + s[0]
+}
+
+// hotAppend grows one annotated slice (fine) and one unannotated (flagged).
+//
+//pared:hotpath append=buf
+func hotAppend(buf, extra []int, v int) ([]int, []int) {
+	buf = append(buf, v)
+	extra = append(extra, v) // want "append to .extra. may grow the backing array"
+	return buf, extra
+}
+
+func sink(v any) { _ = v }
+
+// hotBox boxes a non-pointer-shaped concrete value into an interface param.
+//
+//pared:hotpath
+func hotBox(x int) {
+	sink(x) // want "boxes int into any"
+}
+
+// hotConv boxes through an explicit conversion.
+//
+//pared:hotpath
+func hotConv(k int) any {
+	return any(k) // want "boxes int into any"
+}
+
+func total(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// hotVariadic allocates the variadic argument slice.
+//
+//pared:hotpath
+func hotVariadic(a, b int) int {
+	return total(a, b) // want "variadic call allocates the argument slice"
+}
+
+// hotConcat builds a string on the hot path.
+//
+//pared:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// hotEscape returns a capturing closure: it escapes to the heap.
+//
+//pared:hotpath
+func hotEscape(x int) func() int {
+	return func() int { return x * 2 } // want "closure capturing x escapes to the heap"
+}
+
+// hotDeep reaches an allocation two calls down; the finding carries the path.
+//
+//pared:hotpath
+func hotDeep(i int) float64 {
+	return viaHelper(i) // want "calls hotalloc.viaHelper which allocates: slice literal allocates"
+}
+
+func viaHelper(i int) float64 { return lookupSlice(i) }
+
+func lookupSlice(i int) float64 {
+	f := []float64{1, 2}
+	return f[i%2]
+}
+
+// hotKernSmuggle: the kern body looks clean, but the helper it calls builds
+// a map per element.
+//
+//pared:hotpath
+func hotKernSmuggle(n int, out []float64) {
+	kern.For(n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = lookupMap(i) // want "calls hotalloc.lookupMap which allocates: map literal allocates"
+		}
+	})
+}
+
+func lookupMap(i int) float64 {
+	m := map[int]float64{1: 2.5}
+	return m[i]
+}
+
+// hotBad carries an unparsable directive.
+//
+//pared:hotpath append=
+func hotBad() {} // want "malformed //pared:hotpath directive"
+
+// okKernel: make/new are visible allocations, panic is the failure path, and
+// the annotated append may grow out.
+//
+//pared:hotpath append=out
+func okKernel(xs []float64, out []int, v int) []int {
+	if len(xs) == 0 {
+		panic("hotalloc: empty input " + fmt.Sprint(len(xs)))
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	out = append(out, v)
+	return out
+}
+
+// hotTrusts: annotated callees carry their own contract and are not
+// re-traversed.
+//
+//pared:hotpath
+func hotTrusts(xs []float64, out []int) []int {
+	return okKernel(xs, out, 1)
+}
+
+func eachEdge(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// hotVisit: the capturing closure is handed to a call-only parameter — the
+// callee invokes it and never stores it, so it does not escape.
+//
+//pared:hotpath
+func hotVisit(n int, sum *int) {
+	eachEdge(n, func(i int) { *sum += i })
+}
+
+// hotBound: a closure bound once to a local used only in call position stays
+// on the stack.
+//
+//pared:hotpath
+func hotBound(xs []float64) float64 {
+	acc := 0.0
+	add := func(v float64) { acc += v }
+	for _, x := range xs {
+		add(x)
+	}
+	return acc
+}
+
+// hotNestedBound: a helper hoisted inside the kern body literal is judged in
+// its own scope — every use there is a direct call, so it stays on the stack.
+//
+//pared:hotpath
+func hotNestedBound(n int, out []float64) {
+	kern.For(n, 64, func(lo, hi int) {
+		double := func(v float64) float64 { return 2 * v }
+		for i := lo; i < hi; i++ {
+			out[i] = double(out[i])
+		}
+	})
+}
+
+type table struct{ touched []int32 }
+
+// mark appends only to the annotated receiver field.
+//
+//pared:hotpath append=t.touched
+func (t *table) mark(v int32) {
+	t.touched = append(t.touched, v)
+}
+
+// hotAllowed: an explicit, justified suppression is honored.
+//
+//pared:hotpath
+func hotAllowed() []int {
+	return []int{1, 2, 3} //paredlint:allow hotalloc -- cold init path, measured
+}

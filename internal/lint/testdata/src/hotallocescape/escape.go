@@ -1,0 +1,47 @@
+// Package hotallocescape cross-validates hotalloc verdicts against the
+// compiler's escape analysis (go build -gcflags=-m). Every seeded construct
+// is stored into a package-level sink so the compiler must heap-allocate it;
+// the test asserts hotalloc flags exactly those lines and that the clean
+// kernel draws neither a finding nor an escape.
+package hotallocescape
+
+var (
+	sinkMap   map[int]int
+	sinkSlice []int
+	sinkFn    func() int
+	sinkAny   any
+)
+
+func box(v any) { sinkAny = v }
+
+//pared:hotpath
+func escMap(k int) {
+	m := map[int]int{k: k} // ESCAPE
+	sinkMap = m
+}
+
+//pared:hotpath
+func escSlice(k int) {
+	s := []int{k, k + 1} // ESCAPE
+	sinkSlice = s
+}
+
+//pared:hotpath
+func escClosure(x int) {
+	f := func() int { return x } // ESCAPE
+	sinkFn = f
+}
+
+//pared:hotpath
+func escBox(x int) {
+	box(x) // ESCAPE
+}
+
+//pared:hotpath
+func clean(xs []int) int { // CLEAN
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -228,6 +228,8 @@ func (e *Engine) eachLeafFacet(fn func(f gfacet, root int32)) {
 }
 
 // lessGFacet orders facets lexicographically by global vertex IDs.
+//
+//pared:hotpath
 func lessGFacet(a, b gfacet) bool {
 	for k := 0; k < 3; k++ {
 		if a[k] != b[k] {
@@ -237,6 +239,7 @@ func lessGFacet(a, b gfacet) bool {
 	return false
 }
 
+//pared:hotpath
 func sortGFacet(f *gfacet) {
 	if f[0] > f[1] {
 		f[0], f[1] = f[1], f[0]
@@ -361,6 +364,8 @@ func (e *Engine) Adapt(est refine.Estimator, refineTol, coarsenTol float64, maxL
 // from one fused (max, sum) reduction. Every rank derives the same float64
 // from the same reduced integers, so decisions taken on the result need no
 // further collective agreement.
+//
+//pared:hotpath
 func (e *Engine) Imbalance() float64 {
 	maxL, total := e.Comm.AllReduceMaxSum(int64(e.F.NumLeaves()))
 	avg := float64(total) / float64(e.Comm.Size())
@@ -567,6 +572,7 @@ func (e *Engine) localWeights() weightReport {
 	return rep
 }
 
+//pared:hotpath
 func min32(a, b int32) int32 {
 	if a < b {
 		return a
@@ -574,6 +580,7 @@ func min32(a, b int32) int32 {
 	return b
 }
 
+//pared:hotpath
 func max32(a, b int32) int32 {
 	if a > b {
 		return a
@@ -696,6 +703,8 @@ func (e *Engine) coordinatorGraph(deltas [][]int64) *graph.Graph {
 // search in u's ascending adjacency row. A missing slot means a rank reported
 // adjacency the coarse mesh does not have — the topology invariance the whole
 // incremental pipeline rests on is broken — so it panics loudly.
+//
+//pared:hotpath
 func patchEdge(g *graph.Graph, u, v int32, dw int64) {
 	lo, hi := g.Xadj[u], g.Xadj[u+1]
 	for lo < hi {
@@ -839,27 +848,45 @@ func (e *Engine) GatherForest(root int) *forest.Forest {
 // CheckConsistency verifies cross-rank invariants (every tree owned exactly
 // once, owner map agreement) and local refiner invariants. Intended for tests.
 func (e *Engine) CheckConsistency() error {
+	// Local faults must not short-circuit past the collectives below: a rank
+	// returning early while the others enter Gather would deadlock (the spmd
+	// check proves this schedule symmetric). Collect the fault and let rank 0
+	// fold it into the broadcast verdict every rank agrees on.
+	local := ""
 	if err := e.R.CheckInvariants(); err != nil {
-		return err
+		local = err.Error()
 	}
-	for _, r := range e.F.Roots() {
-		if e.Owner[r] != int32(e.Comm.Rank()) {
-			return fmt.Errorf("pared: rank %d holds tree %d owned by %d", e.Comm.Rank(), r, e.Owner[r])
+	me := int32(e.Comm.Rank())
+	if local == "" {
+		for _, r := range e.F.Roots() {
+			if e.Owner[r] != me {
+				local = fmt.Sprintf("rank %d holds tree %d owned by %d", me, r, e.Owner[r])
+				break
+			}
 		}
 	}
 	lists := e.Comm.Gather(0, e.F.Roots())
+	faults := e.Comm.Gather(0, local)
 	var verdict string
 	if e.Comm.Rank() == 0 {
-		held := make([]int, e.Coarse.NumElems())
-		for _, a := range lists {
-			for _, r := range a.([]int32) {
-				held[r]++
+		for _, a := range faults {
+			if s := a.(string); s != "" {
+				verdict = s
+				break
 			}
 		}
-		for i, h := range held {
-			if h != 1 {
-				verdict = fmt.Sprintf("tree %d held by %d ranks", i, h)
-				break
+		if verdict == "" {
+			held := make([]int, e.Coarse.NumElems())
+			for _, a := range lists {
+				for _, r := range a.([]int32) {
+					held[r]++
+				}
+			}
+			for i, h := range held {
+				if h != 1 {
+					verdict = fmt.Sprintf("tree %d held by %d ranks", i, h)
+					break
+				}
 			}
 		}
 	}
