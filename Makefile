@@ -50,19 +50,28 @@ bench-json:
 
 # Regression guard over the committed baseline: two fresh quick runs, scored
 # best-of-2, must stay within 20% of BENCH_pnr.json on the guarded
-# experiments (see cmd/benchguard). CI runs this on every PR.
+# experiments (see cmd/benchguard). The engine runs in every rebalance mode
+# (-mode all emits engine, engine_sfc and engine_mlkl records), and both the
+# coordinator pipeline and the coordinator-free SFC pipeline are guarded, so
+# a regression in either rebalance path fails CI on every PR.
 bench-guard:
 	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard1.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard2.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard3.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard4.json > /dev/null
-	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient \
-		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json /tmp/benchguard4.json
+	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard5.json > /dev/null
+	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard6.json > /dev/null
+	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc \
+		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json \
+		/tmp/benchguard4.json /tmp/benchguard5.json /tmp/benchguard6.json
 
 # Allocation budget of the hot-path packages. BENCH_allocs.json pins
-# allocs/op for every benchmark of kern/la/graph/core; regenerate it with
-# bench-alloc-baseline after a deliberate change to an allocation profile.
-ALLOC_PKGS = ./internal/kern ./internal/la ./internal/graph ./internal/core
+# allocs/op for every benchmark of kern/la/graph/core/partition-sfc;
+# regenerate it with bench-alloc-baseline after a deliberate change to an
+# allocation profile. The SFC sort and band-assignment kernels are pinned at
+# zero allocations: the coordinator-free rebalance path must stay heap-silent
+# in steady state.
+ALLOC_PKGS = ./internal/kern ./internal/la ./internal/graph ./internal/core ./internal/partition/sfc
 
 bench-alloc-baseline:
 	$(GO) test -run '^$$' -bench . -benchmem $(ALLOC_PKGS) > /tmp/allocguard0.txt

@@ -71,7 +71,13 @@ func BenchmarkTheorem61Projection(b *testing.B) {
 
 func BenchmarkFig2EngineCycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.EngineDemo(io.Discard, experiments.Quick, false)
+		experiments.EngineDemo(io.Discard, experiments.Quick, "incremental")
+	}
+}
+
+func BenchmarkFig2EngineCycleSFC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.EngineDemo(io.Discard, experiments.Quick, "sfc")
 	}
 }
 

@@ -1,12 +1,14 @@
 // Command pared runs the full distributed adaptive pipeline (Figure 2) on a
 // chosen problem: goroutine ranks bootstrap from a coordinator-computed
 // partition, adapt with cross-rank conformal refinement, and rebalance with
-// PNR, RSB or Multilevel-KL at the coordinator.
+// PNR, RSB or Multilevel-KL at the coordinator — or coordinator-free with
+// space-filling-curve bands (-algo sfc).
 //
 // Usage:
 //
 //	pared -p 8 -problem corner -steps 6
 //	pared -p 16 -problem transient -steps 40 -algo rsb
+//	pared -p 16 -problem transient -steps 40 -algo sfc
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 func main() {
 	p := flag.Int("p", 8, "number of ranks")
 	problem := flag.String("problem", "corner", "corner|transient")
-	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl")
+	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl|sfc (sfc is coordinator-free)")
 	grid := flag.Int("grid", 20, "initial mesh resolution")
 	steps := flag.Int("steps", 6, "adaptation steps")
 	tol := flag.Float64("tol", 5e-3, "refinement tolerance")
@@ -37,7 +39,10 @@ func main() {
 	flag.Parse()
 
 	var repart pared.Repartitioner
+	sfcMode := false
 	switch *algo {
+	case "sfc":
+		sfcMode = true
 	case "pnr":
 		repart = func(g *graph.Graph, old []int32, np int) []int32 {
 			return core.Repartition(g, old, np, core.Config{})
@@ -76,12 +81,14 @@ func main() {
 	m0 := meshgen.RectTri(*grid, *grid, -1, -1, 1, 1)
 	tracePrinter := par.NewPrinter(os.Stderr)
 	err := par.Run(*p, func(c *par.Comm) {
-		e := pared.Bootstrap(c, m0)
 		cfg := pared.Config{Repartition: repart, ImbalanceTrigger: *trigger}
+		if sfcMode {
+			cfg = pared.Config{Mode: pared.ModeSFC, ImbalanceTrigger: *trigger}
+		}
 		if *traceOn {
 			cfg.Trace = tracePrinter.Println
 		}
-		e.SetConfig(cfg)
+		e := pared.BootstrapWith(c, m0, cfg)
 		var totalMoved int64
 		for step := 0; step < *steps; step++ {
 			ast := e.Adapt(estimator(step), *tol, coarsen, 18)

@@ -5,10 +5,14 @@
 //	pnrbench -exp all            # everything, paper scale (minutes)
 //	pnrbench -exp fig3 -quick    # one experiment at test scale (seconds)
 //	pnrbench -exp transient -svg out/
+//	pnrbench -exp engine -mode sfc -quick
 //	pnrbench -quick -json BENCH_pnr.json
 //
-// Experiments: fig1, fig3, fig4, fig5, fig45_3d, transient (figs 6-8),
-// bound8, thm61, engine, ablation, geo, diffusion, all.
+// Experiments: fig1, fig3, fig4, fig5, threeway (PNR vs SFC vs ML-KL),
+// fig45_3d, transient (figs 6-8), bound8, thm61, engine, ablation, geo,
+// diffusion, all. The engine experiment runs once per rebalance mode selected
+// by -mode (pnr, sfc, mlkl, or all), emitting records engine, engine_sfc and
+// engine_mlkl.
 //
 // With -json, a machine-readable performance report (wall time and heap
 // allocation per experiment, plus run metadata) is written to the given
@@ -37,9 +41,10 @@ type benchRecord struct {
 	WallMs     float64 `json:"wall_ms"`
 	Allocs     uint64  `json:"allocs"`
 	AllocBytes uint64  `json:"alloc_bytes"`
-	// Engine-phase breakdown (engine experiment only): coordinator wall time
-	// in P1 (local weights), P2 (gather) and P3 (repartition + migrate), and
-	// which rebalance pipeline ran ("incremental" or "scratch").
+	// Engine-phase breakdown (engine records only): rank 0 wall time in P1
+	// (local weights), P2 (gather or distributed scan) and P3 (repartition +
+	// migrate), and which rebalance pipeline ran ("incremental", "scratch",
+	// "sfc" or "mlkl").
 	P1Ms          float64 `json:"p1_ms,omitempty"`
 	P2Ms          float64 `json:"p2_ms,omitempty"`
 	P3Ms          float64 `json:"p3_ms,omitempty"`
@@ -60,11 +65,12 @@ type benchReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|transient|bound8|thm61|engine|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|threeway|transient|bound8|thm61|engine|all")
 	quick := flag.Bool("quick", false, "run reduced sizes (seconds instead of minutes)")
 	svg := flag.String("svg", "", "directory for SVG mesh renderings (fig1, transient)")
 	jsonOut := flag.String("json", "", "write per-experiment wall time and allocation stats to this JSON file")
 	scratch := flag.Bool("scratch", false, "run the engine experiment on the from-scratch rebalance pipeline instead of the incremental one")
+	mode := flag.String("mode", "all", "engine rebalance mode: pnr|sfc|mlkl|all (all emits one record per mode)")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -87,8 +93,16 @@ func main() {
 		Scale:      scaleName(scale),
 	}
 	w := os.Stdout
-	run := func(name string, f func()) {
-		if *exp != "all" && *exp != name {
+	// run executes one experiment if selected; aliases let one -exp name cover
+	// several records (-exp engine runs engine, engine_sfc and engine_mlkl).
+	run := func(name string, f func(), aliases ...string) {
+		match := *exp == "all" || *exp == name
+		for _, a := range aliases {
+			if *exp == a {
+				match = true
+			}
+		}
+		if !match {
 			return
 		}
 		var before, after runtime.MemStats
@@ -107,9 +121,13 @@ func main() {
 		})
 	}
 
-	known := "fig1 fig3 fig4 fig5 fig45_3d transient transient3d bound8 thm61 engine ablation geo diffusion all"
+	known := "fig1 fig3 fig4 fig5 threeway fig45_3d transient transient3d bound8 thm61 engine ablation geo diffusion all"
 	if !strings.Contains(known, *exp) {
 		fmt.Fprintf(os.Stderr, "pnrbench: unknown experiment %q (want one of %s)\n", *exp, known)
+		os.Exit(2)
+	}
+	if !strings.Contains("pnr sfc mlkl all", *mode) {
+		fmt.Fprintf(os.Stderr, "pnrbench: unknown mode %q (want pnr, sfc, mlkl or all)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -117,6 +135,7 @@ func main() {
 	run("fig3", func() { experiments.Fig3(w, scale) })
 	run("fig4", func() { experiments.Fig4(w, scale) })
 	run("fig5", func() { experiments.Fig5(w, scale) })
+	run("threeway", func() { experiments.ThreeWay(w, scale) })
 	run("transient", func() {
 		cfg := experiments.DefaultTransient(scale)
 		cfg.SVGDir = *svg
@@ -126,13 +145,32 @@ func main() {
 	run("transient3d", func() { experiments.Transient3D(w, scale) })
 	run("bound8", func() { experiments.Section8(w, scale) })
 	run("thm61", func() { experiments.Theorem61(w, scale) })
-	var enginePhases experiments.EnginePhases
-	run("engine", func() { enginePhases = experiments.EngineDemo(w, scale, *scratch) })
-	for i := range report.Records {
-		if report.Records[i].Name == "engine" {
-			r := &report.Records[i]
-			r.P1Ms, r.P2Ms, r.P3Ms = enginePhases.P1Ms, enginePhases.P2Ms, enginePhases.P3Ms
-			r.RebalanceMode = enginePhases.Mode
+	// The engine experiment runs once per requested rebalance mode, each as
+	// its own record so benchguard tracks the pipelines independently.
+	pnrMode := "incremental"
+	if *scratch {
+		pnrMode = "scratch"
+	}
+	engineRuns := []struct{ record, emode string }{}
+	if *mode == "all" || *mode == "pnr" {
+		engineRuns = append(engineRuns, struct{ record, emode string }{"engine", pnrMode})
+	}
+	if *mode == "all" || *mode == "sfc" {
+		engineRuns = append(engineRuns, struct{ record, emode string }{"engine_sfc", "sfc"})
+	}
+	if *mode == "all" || *mode == "mlkl" {
+		engineRuns = append(engineRuns, struct{ record, emode string }{"engine_mlkl", "mlkl"})
+	}
+	for _, er := range engineRuns {
+		var ph experiments.EnginePhases
+		emode := er.emode
+		run(er.record, func() { ph = experiments.EngineDemo(w, scale, emode) }, "engine")
+		for i := range report.Records {
+			if report.Records[i].Name == er.record {
+				r := &report.Records[i]
+				r.P1Ms, r.P2Ms, r.P3Ms = ph.P1Ms, ph.P2Ms, ph.P3Ms
+				r.RebalanceMode = ph.Mode
+			}
 		}
 	}
 	run("ablation", func() { experiments.Ablation(w, scale) })

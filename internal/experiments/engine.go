@@ -5,43 +5,64 @@ import (
 	"io"
 
 	"pared/internal/fem"
+	"pared/internal/graph"
 	"pared/internal/mesh"
 	"pared/internal/meshgen"
 	"pared/internal/par"
 	"pared/internal/pared"
+	"pared/internal/partition/mlkl"
 )
 
-// EnginePhases is EngineDemo's cost breakdown: the coordinator rank's
-// cumulative wall time per repartitioning phase, and which rebalance pipeline
-// produced it ("incremental" or "scratch").
+// EnginePhases is EngineDemo's cost breakdown: rank 0's cumulative wall time
+// per repartitioning phase, and which rebalance pipeline produced it
+// ("incremental", "scratch", "sfc" or "mlkl").
 type EnginePhases struct {
 	P1Ms, P2Ms, P3Ms float64
 	Mode             string
 }
 
+// engineConfig maps an EngineDemo mode name onto an engine configuration:
+// "incremental" and "scratch" are the PNR pipeline variants, "sfc" the
+// coordinator-free curve pipeline, "mlkl" the coordinator pipeline with the
+// direct multilevel-KL repartitioner substituted for PNR.
+func engineConfig(mode string) pared.Config {
+	switch mode {
+	case "scratch":
+		return pared.Config{Scratch: true}
+	case "sfc":
+		return pared.Config{Mode: pared.ModeSFC}
+	case "mlkl":
+		return pared.Config{Repartition: func(g *graph.Graph, old []int32, np int) []int32 {
+			return mlkl.Partition(g, np, mlkl.Config{})
+		}}
+	default:
+		return pared.Config{}
+	}
+}
+
 // EngineDemo drives the full distributed system (Figure 2's phases with real
-// message passing: goroutine ranks, split-edge exchange, weight gather at the
-// coordinator, PNR repartition, tree migration) through a shortened transient
-// run, reporting per-step global state. It demonstrates that the engine's
-// migration behaviour matches the serial-path experiments. scratch selects
-// the from-scratch reference pipeline instead of the incremental one.
-func EngineDemo(w io.Writer, scale Scale, scratch bool) EnginePhases {
+// message passing: goroutine ranks, split-edge exchange, rebalance, tree
+// migration) through a shortened transient run, reporting per-step global
+// state. It demonstrates that the engine's migration behaviour matches the
+// serial-path experiments. mode selects the rebalance pipeline: "incremental"
+// (default PNR), "scratch" (from-scratch PNR reference), "sfc"
+// (coordinator-free curve bands) or "mlkl" (coordinator with direct ML-KL).
+func EngineDemo(w io.Writer, scale Scale, mode string) EnginePhases {
 	gridN, steps, p, tol := 16, 8, 4, 1.5e-2
 	if scale == Full {
 		gridN, steps, p, tol = 24, 20, 8, 8e-3
 	}
 	m0 := meshgen.RectTri(gridN, gridN, -1, -1, 1, 1)
 	t := &Table{
-		Title:  fmt.Sprintf("Distributed engine (p=%d): transient tracking through PARED phases P0-P3", p),
+		Title:  fmt.Sprintf("Distributed engine (p=%d, %s): transient tracking through PARED phases P0-P3", p, mode),
 		Header: []string{"step", "t", "elems", "rounds", "imb before", "moved elems", "moved trees", "imb after"},
 	}
-	ph := EnginePhases{Mode: "incremental"}
-	if scratch {
-		ph.Mode = "scratch"
+	if mode == "" {
+		mode = "incremental"
 	}
+	ph := EnginePhases{Mode: mode}
 	err := par.Run(p, func(c *par.Comm) {
-		e := pared.Bootstrap(c, m0)
-		e.SetConfig(pared.Config{Scratch: scratch})
+		e := pared.BootstrapWith(c, m0, engineConfig(mode))
 		for step := 0; step < steps; step++ {
 			tt := -0.5 + float64(step)/float64(steps-1)
 			est := fem.InterpolationEstimator(fem.TransientSolution(tt))

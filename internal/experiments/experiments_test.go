@@ -281,7 +281,7 @@ func TestTheorem61Quick(t *testing.T) {
 
 func TestEngineDemoQuick(t *testing.T) {
 	var buf bytes.Buffer
-	ph := EngineDemo(&buf, Quick, false)
+	ph := EngineDemo(&buf, Quick, "incremental")
 	if strings.Contains(buf.String(), "failed") {
 		t.Fatalf("engine demo failed:\n%s", buf.String())
 	}
@@ -290,6 +290,30 @@ func TestEngineDemoQuick(t *testing.T) {
 	}
 	if ph.Mode != "incremental" || ph.P3Ms <= 0 {
 		t.Errorf("phase report not populated: %+v", ph)
+	}
+}
+
+func TestEngineDemoModes(t *testing.T) {
+	for _, mode := range []string{"sfc", "mlkl"} {
+		var buf bytes.Buffer
+		ph := EngineDemo(&buf, Quick, mode)
+		if strings.Contains(buf.String(), "failed") {
+			t.Fatalf("engine demo (%s) failed:\n%s", mode, buf.String())
+		}
+		if ph.Mode != mode || ph.P3Ms <= 0 {
+			t.Errorf("mode %s: phase report not populated: %+v", mode, ph)
+		}
+	}
+}
+
+func TestThreeWayQuick(t *testing.T) {
+	var buf bytes.Buffer
+	ThreeWay(&buf, Quick)
+	out := buf.String()
+	for _, col := range []string{"cut PNR", "mig% SFC", "cut MLKL"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("three-way table missing column %q:\n%s", col, out)
+		}
 	}
 }
 

@@ -9,7 +9,9 @@ import (
 	"pared/internal/mesh"
 	"pared/internal/meshgen"
 	"pared/internal/partition"
+	"pared/internal/partition/mlkl"
 	"pared/internal/partition/rsb"
+	"pared/internal/partition/sfc"
 )
 
 // fig45Sizes returns the mesh-size ladder of Figures 4 and 5 (the paper:
@@ -37,6 +39,66 @@ func Fig4(w io.Writer, scale Scale) {
 // gains nothing (PNR already keeps subsets on their processors).
 func Fig5(w io.Writer, scale Scale) {
 	fig45(w, scale, true)
+}
+
+// ThreeWay runs the Figure 4/5 growth series through the three repartitioners
+// the engine can host — PNR (coordinator, migration-aware KL), SFC
+// (coordinator-free Hilbert bands, snapped), and direct ML-KL (coordinator,
+// no migration awareness) — reporting coarse-graph cut and migrated leaf
+// fraction for each. All three maintain their assignment across the series,
+// so the migration columns measure what each method moves under the same
+// incremental growth. Cuts are weighted coarse cuts on the same graph, so
+// the columns are directly comparable.
+func ThreeWay(w io.Writer, scale Scale) {
+	m0, sizes, procs := fig45Sizes(scale)
+	est := fem.InterpolationEstimator(fem.CornerSolution2D)
+	steps := GrowthSeries(m0, est, sizes, growthMaxLevel)
+	t := &Table{
+		Title: "PNR vs SFC vs ML-KL: cut and migrated leaf fraction on the growth series",
+		Header: []string{"procs", "elems(t)",
+			"cut PNR", "mig% PNR", "cut SFC", "mig% SFC", "cut MLKL", "mig% MLKL"},
+	}
+	keys := sfc.Keys(m0, sfc.Hilbert)
+	order, _ := sfc.Order(keys)
+	type owners struct{ pnr, sfcO, ml []int32 }
+	byP := make(map[int]*owners)
+	var scratch sfc.AssignScratch
+	for _, step := range steps {
+		for _, p := range procs {
+			st := byP[p]
+			if st == nil {
+				st = &owners{
+					pnr: core.Partition(step.Prev.G, p, core.Config{}),
+				}
+				st.sfcO = sfc.Assign(order, step.Prev.G.VW, nil, p, false, nil, &scratch)
+				st.sfcO = append([]int32(nil), st.sfcO...)
+				st.ml = mlkl.Partition(step.Prev.G, p, mlkl.Config{})
+				byP[p] = st
+			}
+			g := step.Next.G
+			total := g.TotalVW()
+			migPct := func(old, new []int32) string {
+				mig := partition.MigrationCost(g.VW, old, new)
+				return fmt.Sprintf("%.1f", 100*float64(mig)/float64(total))
+			}
+
+			newPNR := core.Repartition(g, st.pnr, p, core.Config{})
+			newSFC := sfc.Assign(order, g.VW, st.sfcO, p, true, nil, &scratch)
+			newSFC = append([]int32(nil), newSFC...)
+			// ML-KL partitions from scratch; relabel parts to minimize
+			// migration (the Biswas–Oliker permutation) so the column shows
+			// the method at its best rather than a labeling artifact.
+			newML := mlkl.Partition(g, p, mlkl.Config{})
+			newML = partition.MinMigrationRelabel(g.VW, st.ml, newML, p)
+
+			t.AddRow(p, step.Next.Leaf.Mesh.NumElems(),
+				partition.EdgeCut(g, newPNR), migPct(st.pnr, newPNR),
+				partition.EdgeCut(g, newSFC), migPct(st.sfcO, newSFC),
+				partition.EdgeCut(g, newML), migPct(st.ml, newML))
+			st.pnr, st.sfcO, st.ml = newPNR, newSFC, newML
+		}
+	}
+	t.Fprint(w)
 }
 
 func fig45(w io.Writer, scale Scale, usePNR bool) {

@@ -11,7 +11,9 @@ import (
 	"pared/internal/forest"
 	"pared/internal/meshgen"
 	"pared/internal/partition"
+	"pared/internal/partition/mlkl"
 	"pared/internal/partition/rsb"
+	"pared/internal/partition/sfc"
 	"pared/internal/refine"
 )
 
@@ -50,9 +52,11 @@ type TransientResult struct {
 // Transient reproduces the §10 experiment: a peak moving along the diagonal
 // for 100 steps with refinement ahead of it and coarsening behind. At every
 // step the mesh is repartitioned by (a) RSB from scratch, (b) RSB followed by
-// the migration-minimizing permutation, and (c) PNR. Figure 7 reports the
-// shared-vertex quality of RSB vs PNR; Figure 8 the elements migrated by all
-// three methods.
+// the migration-minimizing permutation, (c) PNR, (d) SFC Hilbert bands with
+// snapping, and (e) direct ML-KL (relabeled for minimum migration). Figure 7
+// reports the shared-vertex quality of RSB vs PNR; Figure 8 the elements
+// migrated by every method; the summary adds the SFC and ML-KL migrated
+// fractions next to the paper's three columns.
 func Transient(w io.Writer, cfg TransientConfig) *TransientResult {
 	m0 := meshgen.RectTri(cfg.GridN, cfg.GridN, -1, -1, 1, 1)
 	f := forest.FromMesh(m0)
@@ -60,30 +64,36 @@ func Transient(w io.Writer, cfg TransientConfig) *TransientResult {
 
 	res := &TransientResult{
 		Fig7:    &Table{Title: "Figure 7: shared vertices per step (RSB vs PNR)", Header: []string{"step", "t", "elems"}},
-		Fig8:    &Table{Title: "Figure 8: elements migrated per step (RSB, permuted RSB, PNR)", Header: []string{"step", "t", "elems"}},
-		Summary: &Table{Title: "Section 10 summary: average (peak) migrated fraction, %", Header: []string{"procs", "RSB", "permRSB", "PNR", "sharedV RSB", "sharedV PNR", "adjSub RSB", "adjSub PNR", "disc RSB", "disc PNR"}},
+		Fig8:    &Table{Title: "Figure 8: elements migrated per step (RSB, permuted RSB, PNR, SFC, ML-KL)", Header: []string{"step", "t", "elems"}},
+		Summary: &Table{Title: "Section 10 summary: average (peak) migrated fraction, %", Header: []string{"procs", "RSB", "permRSB", "PNR", "SFC", "MLKL", "sharedV RSB", "sharedV PNR", "adjSub RSB", "adjSub PNR", "disc RSB", "disc PNR"}},
 	}
 	for _, p := range cfg.Procs {
 		res.Fig7.Header = append(res.Fig7.Header, fmt.Sprintf("RSB:%d", p), fmt.Sprintf("PNR:%d", p))
-		res.Fig8.Header = append(res.Fig8.Header, fmt.Sprintf("RSB:%d", p), fmt.Sprintf("perm:%d", p), fmt.Sprintf("PNR:%d", p))
+		res.Fig8.Header = append(res.Fig8.Header, fmt.Sprintf("RSB:%d", p), fmt.Sprintf("perm:%d", p),
+			fmt.Sprintf("PNR:%d", p), fmt.Sprintf("SFC:%d", p), fmt.Sprintf("MLKL:%d", p))
 	}
 
 	pnrCfg := core.Config{Alpha: cfg.Alpha, Beta: cfg.Beta}
 	rsbCfg := rsb.Config{Seed: 17}
-	states := make(map[int]*[3]methodState) // per p: [rsb, rsbPerm, pnr]
+	states := make(map[int]*[5]methodState) // per p: [rsb, rsbPerm, pnr, sfc, mlkl]
 	type agg struct {
-		sumRSB, sumPerm, sumPNR    float64
-		peakRSB, peakPerm, peakPNR float64
-		sumSharedRSB, sumSharedPNR float64
-		sumAdjRSB, sumAdjPNR       float64
-		discRSB, discPNR           int
-		n                          int
+		sumRSB, sumPerm, sumPNR, sumSFC, sumMLKL      float64
+		peakRSB, peakPerm, peakPNR, peakSFC, peakMLKL float64
+		sumSharedRSB, sumSharedPNR                    float64
+		sumAdjRSB, sumAdjPNR                          float64
+		discRSB, discPNR                              int
+		n                                             int
 	}
 	aggs := make(map[int]*agg)
 	for _, p := range cfg.Procs {
-		states[p] = &[3]methodState{}
+		states[p] = &[5]methodState{}
 		aggs[p] = &agg{}
 	}
+	// The SFC methods partition the coarse graph, whose vertex set is the
+	// invariant root set of m0: the curve order is computed once.
+	sfcKeys := sfc.Keys(m0, sfc.Hilbert)
+	sfcOrder, _ := sfc.Order(sfcKeys)
+	var sfcScratch sfc.AssignScratch
 
 	var prevSnap *Snapshot
 	for step := 0; step < cfg.Steps; step++ {
@@ -136,19 +146,45 @@ func Transient(w io.Writer, cfg TransientConfig) *TransientResult {
 				migPNR = partition.MigrationCost(cur.G.VW, st[2].owner, newOwner)
 				st[2].owner = newOwner
 			}
+			// SFC Hilbert bands on the same coarse graph, snapped against the
+			// previous step's bands.
+			migSFC := int64(0)
+			{
+				newOwner := sfc.Assign(sfcOrder, cur.G.VW, st[3].owner, p, true, nil, &sfcScratch)
+				newOwner = append([]int32(nil), newOwner...)
+				if st[3].owner != nil {
+					migSFC = partition.MigrationCost(cur.G.VW, st[3].owner, newOwner)
+				}
+				st[3].owner = newOwner
+			}
+			// Direct ML-KL from scratch, relabeled for minimum migration.
+			migMLKL := int64(0)
+			{
+				newOwner := mlkl.Partition(cur.G, p, mlkl.Config{})
+				if st[4].owner != nil {
+					newOwner = partition.MinMigrationRelabel(cur.G.VW, st[4].owner, newOwner, p)
+					migMLKL = partition.MigrationCost(cur.G.VW, st[4].owner, newOwner)
+				}
+				st[4].owner = newOwner
+			}
 			sharedRSB := cur.Leaf.Mesh.SharedVertices(newRSB)
 			sharedPNR := cur.Leaf.Mesh.SharedVertices(cur.RootParts(st[2].owner))
 			row7 = append(row7, sharedRSB, sharedPNR)
-			row8 = append(row8, migRSB, migPerm, migPNR)
+			row8 = append(row8, migRSB, migPerm, migPNR, migSFC, migMLKL)
 			if prevSnap != nil {
 				tot := float64(nElems)
 				fr, fp, fn := 100*float64(migRSB)/tot, 100*float64(migPerm)/tot, 100*float64(migPNR)/tot
+				fs, fm := 100*float64(migSFC)/tot, 100*float64(migMLKL)/tot
 				a.sumRSB += fr
 				a.sumPerm += fp
 				a.sumPNR += fn
+				a.sumSFC += fs
+				a.sumMLKL += fm
 				a.peakRSB = maxF(a.peakRSB, fr)
 				a.peakPerm = maxF(a.peakPerm, fp)
 				a.peakPNR = maxF(a.peakPNR, fn)
+				a.peakSFC = maxF(a.peakSFC, fs)
+				a.peakMLKL = maxF(a.peakMLKL, fm)
 				a.n++
 			}
 			a.sumSharedRSB += float64(sharedRSB)
@@ -182,6 +218,8 @@ func Transient(w io.Writer, cfg TransientConfig) *TransientResult {
 			fmt.Sprintf("%.1f (%.1f)", a.sumRSB/n, a.peakRSB),
 			fmt.Sprintf("%.1f (%.1f)", a.sumPerm/n, a.peakPerm),
 			fmt.Sprintf("%.1f (%.1f)", a.sumPNR/n, a.peakPNR),
+			fmt.Sprintf("%.1f (%.1f)", a.sumSFC/n, a.peakSFC),
+			fmt.Sprintf("%.1f (%.1f)", a.sumMLKL/n, a.peakMLKL),
 			fmt.Sprintf("%.0f", a.sumSharedRSB/steps),
 			fmt.Sprintf("%.0f", a.sumSharedPNR/steps),
 			fmt.Sprintf("%.2f", a.sumAdjRSB/steps),

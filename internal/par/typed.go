@@ -19,6 +19,12 @@ const (
 	tagAlltoallB
 	tagMaxSumUp
 	tagMaxSumDown
+	tagScanUp
+	tagScanDown
+	tagSumUp
+	tagSumDown
+	tagAllGatherI32
+	tagAllGatherI64
 )
 
 // AllReduceMaxSum combines every rank's value into (max, sum) in one fused
@@ -48,6 +54,101 @@ func (c *Comm) AllReduceMaxSum(value int64) (max, sum int64) {
 		c.world.boxes[i] <- message{src: c.rank, tag: tagMaxSumDown, seq: seq, i64: down}
 	}
 	return max, sum
+}
+
+// AllReduceSumInt64 sums an int64 across ranks in one fused up/down round.
+// It is the typed, unboxed counterpart of AllReduceSum (which routes through
+// Gather/Bcast of `any` and boxes every value); the SFC rebalance path calls
+// it every epoch for the total curve weight.
+func (c *Comm) AllReduceSumInt64(value int64) int64 {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank != 0 {
+		c.world.boxes[0] <- message{src: c.rank, tag: tagSumUp, seq: seq, i64: []int64{value}}
+		m := c.recvMsg(0, tagSumDown, seq)
+		return m.i64[0]
+	}
+	sum := value
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagSumUp, seq)
+		sum += m.i64[0]
+	}
+	down := []int64{sum}
+	for i := 1; i < c.size; i++ {
+		c.world.boxes[i] <- message{src: c.rank, tag: tagSumDown, seq: seq, i64: down}
+	}
+	return sum
+}
+
+// ExclusiveScanInt64 returns the sum of value over all lower ranks — MPI's
+// Exscan: rank 0 gets 0, rank r gets Σ_{q<r} value_q. This is the collective
+// at the heart of the coordinator-free SFC repartitioner: a rank that knows
+// the total weight of every rank before it in curve order can place its own
+// elements on the global weight axis without any rank ever holding the whole
+// weight vector. Rank 0 folds the per-rank values in rank order (the only
+// deterministic order) and fans the prefixes back out; payloads are O(1)
+// int64s per rank either way, so no rank's cost grows with the mesh.
+func (c *Comm) ExclusiveScanInt64(value int64) int64 {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank != 0 {
+		c.world.boxes[0] <- message{src: c.rank, tag: tagScanUp, seq: seq, i64: []int64{value}}
+		m := c.recvMsg(0, tagScanDown, seq)
+		return m.i64[0]
+	}
+	vals := make([]int64, c.size)
+	vals[0] = value
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagScanUp, seq)
+		vals[m.src] = m.i64[0]
+	}
+	prefix := int64(0)
+	for r := 1; r < c.size; r++ {
+		prefix += vals[r-1]
+		c.world.boxes[r] <- message{src: c.rank, tag: tagScanDown, seq: seq, i64: []int64{prefix}}
+	}
+	return 0
+}
+
+// AllGatherInt32 delivers every rank's []int32 to every rank; the result is
+// indexed by source rank. out[rank] aliases the local argument and remote
+// entries alias the senders' slices — treat the result as read-only. The
+// exchange is fully symmetric (each rank sends to every other), so no rank
+// plays coordinator.
+func (c *Comm) AllGatherInt32(xs []int32) [][]int32 {
+	c.collSeq++
+	seq := c.collSeq
+	out := make([][]int32, c.size)
+	out[c.rank] = xs
+	for i := 0; i < c.size; i++ {
+		if i != c.rank {
+			c.world.boxes[i] <- message{src: c.rank, tag: tagAllGatherI32, seq: seq, i32: xs}
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagAllGatherI32, seq)
+		out[m.src] = m.i32
+	}
+	return out
+}
+
+// AllGatherInt64 delivers every rank's []int64 to every rank, like
+// AllGatherInt32.
+func (c *Comm) AllGatherInt64(xs []int64) [][]int64 {
+	c.collSeq++
+	seq := c.collSeq
+	out := make([][]int64, c.size)
+	out[c.rank] = xs
+	for i := 0; i < c.size; i++ {
+		if i != c.rank {
+			c.world.boxes[i] <- message{src: c.rank, tag: tagAllGatherI64, seq: seq, i64: xs}
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagAllGatherI64, seq)
+		out[m.src] = m.i64
+	}
+	return out
 }
 
 // GatherInt32 collects each rank's []int32 at root. The result (indexed by

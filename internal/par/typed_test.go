@@ -94,6 +94,98 @@ func TestAlltoallBytes(t *testing.T) {
 	}
 }
 
+func TestExclusiveScanInt64(t *testing.T) {
+	const p = 5
+	err := Run(p, func(c *Comm) {
+		// Distinct per-rank values so a mis-ordered fold is visible: rank r
+		// contributes 10^r, so the prefix at rank r reads as r ones in decimal.
+		val := int64(1)
+		for i := 0; i < c.Rank(); i++ {
+			val *= 10
+		}
+		got := c.ExclusiveScanInt64(val)
+		want := int64(0)
+		v := int64(1)
+		for i := 0; i < c.Rank(); i++ {
+			want += v
+			v *= 10
+		}
+		if got != want {
+			panic(fmt.Sprintf("rank %d: exscan = %d, want %d", c.Rank(), got, want))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveScanInt64SingleRank(t *testing.T) {
+	err := Run(1, func(c *Comm) {
+		if got := c.ExclusiveScanInt64(42); got != 0 {
+			panic(fmt.Sprintf("exscan on one rank = %d, want 0", got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSumInt64(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) {
+		got := c.AllReduceSumInt64(int64(c.Rank() + 1))
+		if got != p*(p+1)/2 {
+			panic(fmt.Sprintf("rank %d: sum = %d", c.Rank(), got))
+		}
+		// Agreement with the boxed reference on a second round.
+		if a, b := c.AllReduceSumInt64(7), c.AllReduceSum(7); a != b {
+			panic(fmt.Sprintf("typed %d != boxed %d", a, b))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherInt32(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) {
+		xs := make([]int32, c.Rank()+1)
+		for i := range xs {
+			xs[i] = int32(c.Rank()*10 + i)
+		}
+		out := c.AllGatherInt32(xs)
+		for r := 0; r < p; r++ {
+			if len(out[r]) != r+1 {
+				panic(fmt.Sprintf("rank %d: source %d length %d", c.Rank(), r, len(out[r])))
+			}
+			for i, v := range out[r] {
+				if v != int32(r*10+i) {
+					panic(fmt.Sprintf("rank %d: out[%d][%d] = %d", c.Rank(), r, i, v))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherInt64(t *testing.T) {
+	const p = 3
+	err := Run(p, func(c *Comm) {
+		out := c.AllGatherInt64([]int64{int64(c.Rank()) << 40})
+		for r := 0; r < p; r++ {
+			if out[r][0] != int64(r)<<40 {
+				panic(fmt.Sprintf("rank %d: source %d value %d", c.Rank(), r, out[r][0]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTypedInterleavesWithUntyped drives typed and generic collectives
 // back-to-back in the same order on every rank: the shared sequence counter
 // must keep them from cross-matching.
@@ -108,6 +200,12 @@ func TestTypedInterleavesWithUntyped(t *testing.T) {
 			if v := c.AllReduceSum(1); v != p {
 				panic("allreduce mismatch")
 			}
+			if v := c.ExclusiveScanInt64(1); v != int64(c.Rank()) {
+				panic("exscan mismatch")
+			}
+			if v := c.AllReduceSumInt64(2); v != 2*p {
+				panic("typed allreduce mismatch")
+			}
 			outs := c.GatherInt64(0, []int64{int64(c.Rank())})
 			if c.Rank() == 0 {
 				for r := 0; r < p; r++ {
@@ -121,6 +219,51 @@ func TestTypedInterleavesWithUntyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+// BenchmarkScanTyped compares a boxed exclusive scan (Gather + Bcast of `any`
+// values, the pre-typed idiom) against ExclusiveScanInt64 + AllReduceSumInt64
+// for the SFC rebalance shape: one scalar scan plus one scalar sum per epoch.
+// The typed lane must not box.
+func BenchmarkScanTyped(b *testing.B) {
+	const p = 8
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := Run(p, func(c *Comm) {
+				for round := 0; round < 64; round++ {
+					vals := c.Gather(0, int64(c.Rank()))
+					var prefixes []int64
+					if c.Rank() == 0 {
+						prefixes = make([]int64, p+1)
+						for r := 1; r <= p; r++ {
+							prefixes[r-1+1] = prefixes[r-1] + vals[r-1].(int64)
+						}
+					}
+					prefixes = c.Bcast(0, prefixes).([]int64)
+					_ = prefixes[c.Rank()]
+					_ = prefixes[p]
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("typed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := Run(p, func(c *Comm) {
+				for round := 0; round < 64; round++ {
+					_ = c.ExclusiveScanInt64(int64(c.Rank()))
+					_ = c.AllReduceSumInt64(int64(c.Rank()))
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkGatherTyped compares the boxed Gather against GatherInt64 for the

@@ -29,6 +29,7 @@ import (
 	"pared/internal/mesh"
 	"pared/internal/par"
 	"pared/internal/partition"
+	"pared/internal/partition/sfc"
 	"pared/internal/refine"
 )
 
@@ -39,8 +40,14 @@ type Repartitioner func(g *graph.Graph, old []int32, p int) []int32
 
 // Config tunes the engine.
 type Config struct {
+	// Mode selects the rebalance pipeline: ModePNR (default) funnels P2/P3
+	// through the coordinator; ModeSFC is the coordinator-free space-filling-
+	// curve pipeline (see sfc.go), which ignores Repartition and Scratch.
+	Mode RebalanceMode
+	// SFC tunes the ModeSFC pipeline (curve choice, band snapping).
+	SFC sfc.Config
 	// Repartition computes new assignments in P3. Defaults to PNR with the
-	// paper's parameters.
+	// paper's parameters. Ignored in ModeSFC.
 	Repartition Repartitioner
 	// ImbalanceTrigger invokes repartitioning when the leaf-count imbalance
 	// exceeds this fraction (default 0.05). Rebalance can also be forced.
@@ -112,6 +119,10 @@ type Engine struct {
 	gCache *graph.Graph
 	lastVW []int64
 	lastEW map[[2]int32]int64
+
+	// sfc caches the curve order and scratch of the ModeSFC pipeline; built
+	// lazily on the first SFC rebalance (see ensureSFC).
+	sfc *sfcState
 
 	// CheapSkips counts Rebalance(force=false) calls that returned after the
 	// single fused imbalance probe, before any weight work (see Rebalance).
@@ -426,16 +437,52 @@ func (e *Engine) Rebalance(force bool) RebalanceStats {
 	}
 	st.Ran = true
 
+	var newOwner []int32
+	var d1, d2, d3 time.Duration
+	if e.cfg.Mode == ModeSFC {
+		// Coordinator-free path: curve-band assignment from a distributed
+		// prefix sum (see sfc.go). No gather, no serial repartitioner.
+		newOwner, d1, d2, d3 = e.rebalanceSFC(&st)
+	} else {
+		newOwner, d1, d2, d3 = e.rebalancePNR(&st)
+	}
+
+	// Migrate trees whose owner changed.
+	var moved, movedElems int64
+	dm := timed(func() { moved, movedElems = e.migrate(newOwner) })
+	st.MovedTrees = e.Comm.AllReduceSum(moved)
+	st.MovedElements = e.Comm.AllReduceSum(movedElems)
+	if e.cfg.Mode == ModeSFC && e.sfc != nil {
+		// Swap buffers: the outgoing owner map becomes next epoch's scratch,
+		// so the steady state cycles two arrays and never allocates (and the
+		// cut stats above never read a half-patched map).
+		e.sfc.newOwner = e.Owner
+	}
+	e.Owner = newOwner
+	if check.Enabled && e.F.NumLeaves() > 0 {
+		check.MeshConformal(e.F.LeafMesh().Mesh, "pared.Engine.Rebalance")
+	}
+	st.Imbalance = e.Imbalance()
+	e.Phases.P1 += d1
+	e.Phases.P2 += d2
+	e.Phases.P3 += d3 + dm
+	e.trace("P3 repartition+migrate: cut %d->%d, sent %d trees (%d elements) in %v+%v, imbalance %.4f",
+		st.CutBefore, st.CutAfter, moved, movedElems, d3, dm, st.Imbalance)
+	return st
+}
+
+// rebalancePNR runs phases P1–P3 of the paper's coordinator pipeline:
+// weights reach rank 0 (full reports in scratch mode, additive deltas in
+// incremental mode), rank 0 repartitions G, and the owner delta comes back.
+func (e *Engine) rebalancePNR(st *RebalanceStats) (newOwner []int32, d1, d2, d3 time.Duration) {
 	// --- P1: local weight computation.
 	var rep weightReport
-	d1 := timed(func() { rep = e.localWeights() })
+	d1 = timed(func() { rep = e.localWeights() })
 	e.trace("P1 weights: %d roots, %d edge pairs in %v", len(rep.Roots), len(rep.EdgeR), d1)
 
 	// --- P2: weights reach the coordinator; P3: it repartitions G and the
 	// new assignment comes back. Incremental mode moves deltas both ways;
 	// scratch mode moves full reports and the full owner map.
-	var newOwner []int32
-	var d2, d3 time.Duration
 	if e.cfg.Scratch {
 		var reports []any
 		d2 = timed(func() { reports = e.Comm.Gather(0, rep) })
@@ -477,23 +524,7 @@ func (e *Engine) Rebalance(force bool) RebalanceStats {
 		e.assertPatchedG(rep)
 		e.trace("P3 owner delta: %d moved entries", (len(ownerDelta)-ownerDeltaHeader)/2)
 	}
-
-	// Migrate trees whose owner changed.
-	var moved, movedElems int64
-	dm := timed(func() { moved, movedElems = e.migrate(newOwner) })
-	st.MovedTrees = e.Comm.AllReduceSum(moved)
-	st.MovedElements = e.Comm.AllReduceSum(movedElems)
-	e.Owner = newOwner
-	if check.Enabled && e.F.NumLeaves() > 0 {
-		check.MeshConformal(e.F.LeafMesh().Mesh, "pared.Engine.Rebalance")
-	}
-	st.Imbalance = e.Imbalance()
-	e.Phases.P1 += d1
-	e.Phases.P2 += d2
-	e.Phases.P3 += d3 + dm
-	e.trace("P3 repartition+migrate: cut %d->%d, sent %d trees (%d elements) in %v+%v, imbalance %.4f",
-		st.CutBefore, st.CutAfter, moved, movedElems, d3, dm, st.Imbalance)
-	return st
+	return newOwner, d1, d2, d3
 }
 
 // localWeights computes this rank's contribution to G's weights: leaf counts
@@ -806,6 +837,7 @@ func (e *Engine) migrate(newOwner []int32) (trees, elems int64) {
 		}
 	}
 	recv := e.Comm.AlltoallBytes(send)
+	received := 0
 	for from, buf := range recv {
 		if from == e.Comm.Rank() {
 			continue
@@ -816,7 +848,16 @@ func (e *Engine) migrate(newOwner []int32) (trees, elems int64) {
 		}
 		for _, p := range ps {
 			e.F.InsertTree(p)
+			received++
 		}
+	}
+	if trees == 0 && received == 0 {
+		// This rank's forest is untouched: rebuilding the refiner and the
+		// shared-vertex set would reproduce them bit-for-bit. Skipping the
+		// rebuild is decided on local knowledge only (what we sent plus what
+		// arrived), so no extra collective and no symmetry requirement — a
+		// no-op epoch costs just the (empty) exchange above.
+		return 0, 0
 	}
 	e.F.CompactVertices() // reclaim orphans left by departed trees
 	e.R = refine.NewRefiner(e.F)

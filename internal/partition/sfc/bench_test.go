@@ -1,0 +1,73 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pared/internal/meshgen"
+)
+
+// sortFixture builds curve keys for a 120×120 triangulation (28.8k elements)
+// plus a pre-shuffled index slice — the per-epoch re-sort the engine pays
+// when the curve cache is cold.
+func sortFixture() (keys []uint64, idx []int32) {
+	m := meshgen.RectTri(120, 120, -1, -1, 1, 1)
+	keys = Keys(m, Hilbert)
+	idx = make([]int32, len(keys))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	rand.New(rand.NewSource(3)).Shuffle(len(idx), func(a, b int) {
+		idx[a], idx[b] = idx[b], idx[a]
+	})
+	return keys, idx
+}
+
+// BenchmarkSFCSort is the steady-state radix-sort kernel: scratch warm, so
+// allocs/op must be zero (BENCH_allocs.json pins it).
+func BenchmarkSFCSort(b *testing.B) {
+	keys, idx := sortFixture()
+	work := make([]int32, len(idx))
+	var s SortScratch
+	copy(work, idx)
+	SortByKey(keys, work, &s) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, idx)
+		SortByKey(keys, work, &s)
+	}
+}
+
+// BenchmarkSFCAssign is the steady-state banding kernel over the full curve —
+// the entire per-epoch "P3" compute of the SFC mode. Zero allocs/op.
+func BenchmarkSFCAssign(b *testing.B) {
+	keys, _ := sortFixture()
+	n := len(keys)
+	order, _ := Order(keys)
+	rng := rand.New(rand.NewSource(5))
+	vw := make([]int64, n)
+	for e := range vw {
+		vw[e] = 1 + int64(rng.Intn(8))
+	}
+	const p = 16
+	var scratch AssignScratch
+	old := Assign(order, vw, nil, p, false, nil, &scratch)
+	out := make([]int32, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = Assign(order, vw, old, p, true, out, &scratch)
+	}
+}
+
+// BenchmarkSFCKeys covers the cold path: centroid quantization + curve index
+// for the full mesh (paid once per topology, then cached by the engine).
+func BenchmarkSFCKeys(b *testing.B) {
+	m := meshgen.RectTri(120, 120, -1, -1, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Keys(m, Hilbert)
+	}
+}
