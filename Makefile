@@ -16,22 +16,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project-specific static analysis (see internal/lint), all eleven checks:
+# Project-specific static analysis (see internal/lint), all thirteen checks:
 # per-file — map-iteration order in deterministic packages, raw concurrency
 # outside internal/par and internal/kern, float ==, dropped errors, sleeps;
 # flow-aware — rank-gated collectives (deadlocks), impure kern bodies,
 # *Scratch aliasing across concurrency, order-dependent float accumulation;
 # path-sensitive — rank-divergent collective schedules (spmd, per-path trace
-# comparison), allocations in //pared:hotpath functions (hotalloc).
-# -strict-allow additionally fails on suppressions that suppress nothing.
+# comparison), allocations in //pared:hotpath functions (hotalloc);
+# value-range — unprovable slice indexes in hotpath functions (bce, checked
+# against the compiler's own elimination) and narrowing casts/shifts whose
+# interval can exceed the target width (intwidth, //pared:narrow verified).
+# -strict-allow additionally fails on suppressions that suppress nothing;
+# -cache replays unchanged packages from out/lintcache (content-hash keys).
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/paredlint -strict-allow ./...
+	$(GO) run ./cmd/paredlint -strict-allow -cache ./...
 
 # The linter linted by itself: internal/lint and cmd/paredlint must satisfy
 # their own rules.
 lint-self:
-	$(GO) run ./cmd/paredlint -strict-allow ./internal/lint ./cmd/paredlint
+	$(GO) run ./cmd/paredlint -strict-allow -cache ./internal/lint ./cmd/paredlint
 
 # Run the test suite with the runtime invariant layer compiled in (mesh
 # conformity, weight bookkeeping, gain-table brute-force cross-checks,
@@ -51,9 +55,10 @@ bench-json:
 # Regression guard over the committed baseline: two fresh quick runs, scored
 # best-of-2, must stay within 20% of BENCH_pnr.json on the guarded
 # experiments (see cmd/benchguard). The engine runs in every rebalance mode
-# (-mode all emits engine, engine_sfc and engine_mlkl records), and both the
-# coordinator pipeline and the coordinator-free SFC pipeline are guarded, so
-# a regression in either rebalance path fails CI on every PR.
+# (-mode all emits engine, engine_sfc, engine_sfc_3d and engine_mlkl
+# records), and the coordinator pipeline and the coordinator-free SFC
+# pipeline (2D and 3D keys) are all guarded, so a regression in any
+# rebalance path fails CI on every PR.
 bench-guard:
 	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard1.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard2.json > /dev/null
@@ -61,7 +66,7 @@ bench-guard:
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard4.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard5.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard6.json > /dev/null
-	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc \
+	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc,engine_sfc_3d \
 		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json \
 		/tmp/benchguard4.json /tmp/benchguard5.json /tmp/benchguard6.json
 

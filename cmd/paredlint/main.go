@@ -25,6 +25,8 @@
 //	-scratchalias  *Scratch buffers shared across concurrency     (default true)
 //	-detfloat      order-dependent float accumulation             (default true)
 //	-hotalloc      allocations in //pared:hotpath functions       (default true)
+//	-bce           unprovable slice indexes in hotpath functions  (default true)
+//	-intwidth      narrowing casts/shifts that can overflow       (default true)
 //
 // -only runs a single check by name (overriding the per-check toggles):
 //
@@ -34,7 +36,11 @@
 //
 //	-json          emit one {check, file, line, msg, path} object per line,
 //	               then one {timings: [{check, ms}, ...]} summary object
+//	               (with a cache {hits, misses, rate} member under -cache)
 //	-strict-allow  report //paredlint:allow directives that suppress nothing
+//	-cache         replay unchanged packages from out/lintcache: per-package
+//	               results keyed by a content hash over the package's import
+//	               cone, so re-runs only re-analyze what changed
 package main
 
 import (
@@ -63,6 +69,19 @@ type jsonTiming struct {
 	Ms    float64 `json:"ms"`
 }
 
+// jsonCache is the cache-outcome member of the -json trailer object.
+type jsonCache struct {
+	Hits   int     `json:"hits"`
+	Misses int     `json:"misses"`
+	Rate   float64 `json:"rate"`
+}
+
+// jsonTrailer is the summary object ending -json output.
+type jsonTrailer struct {
+	Timings []jsonTiming `json:"timings"`
+	Cache   *jsonCache   `json:"cache,omitempty"`
+}
+
 func main() {
 	enabled := make(map[string]*bool)
 	for _, c := range lint.AllChecks() {
@@ -71,6 +90,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line, then a timings summary object")
 	strictAllow := flag.Bool("strict-allow", false, "report stale //paredlint:allow directives as findings")
 	only := flag.String("only", "", "run a single check by name (overrides the per-check toggles)")
+	useCache := flag.Bool("cache", false, "replay unchanged packages from the content-hash summary cache under out/lintcache")
 	flag.Parse()
 
 	var checks []*lint.Check
@@ -106,7 +126,11 @@ func main() {
 		fatal(err)
 	}
 
-	diags, timings := lint.RunTimed(pkgs, checks)
+	var cache *lint.Cache
+	if *useCache {
+		cache = lint.NewCache(filepath.Join(loader.ModuleRoot, "out", "lintcache"), loader)
+	}
+	diags, timings, stats := lint.RunCachedTimed(pkgs, checks, cache)
 	if *strictAllow {
 		diags = append(diags, lint.StaleAllows(pkgs, checks)...)
 	}
@@ -135,11 +159,14 @@ func main() {
 		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Check, msg)
 	}
 	if *jsonOut {
-		ts := make([]jsonTiming, 0, len(timings))
+		trailer := jsonTrailer{Timings: make([]jsonTiming, 0, len(timings))}
 		for _, t := range timings {
-			ts = append(ts, jsonTiming{Check: t.Name, Ms: t.Ms})
+			trailer.Timings = append(trailer.Timings, jsonTiming{Check: t.Name, Ms: t.Ms})
 		}
-		if err := enc.Encode(map[string][]jsonTiming{"timings": ts}); err != nil {
+		if cache != nil {
+			trailer.Cache = &jsonCache{Hits: stats.Hits, Misses: stats.Misses, Rate: stats.Rate()}
+		}
+		if err := enc.Encode(trailer); err != nil {
 			fatal(err)
 		}
 	}

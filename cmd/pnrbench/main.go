@@ -11,8 +11,9 @@
 // Experiments: fig1, fig3, fig4, fig5, threeway (PNR vs SFC vs ML-KL),
 // fig45_3d, transient (figs 6-8), bound8, thm61, engine, ablation, geo,
 // diffusion, all. The engine experiment runs once per rebalance mode selected
-// by -mode (pnr, sfc, mlkl, or all), emitting records engine, engine_sfc and
-// engine_mlkl.
+// by -mode (pnr, sfc, mlkl, or all), emitting records engine, engine_sfc,
+// engine_sfc_3d (the SFC pipeline on a tetrahedral box, exercising the 3D
+// curve keys) and engine_mlkl.
 //
 // With -json, a machine-readable performance report (wall time and heap
 // allocation per experiment, plus run metadata) is written to the given
@@ -151,20 +152,31 @@ func main() {
 	if *scratch {
 		pnrMode = "scratch"
 	}
-	engineRuns := []struct{ record, emode string }{}
+	type engineRun struct {
+		record, emode string
+		threeD        bool
+	}
+	engineRuns := []engineRun{}
 	if *mode == "all" || *mode == "pnr" {
-		engineRuns = append(engineRuns, struct{ record, emode string }{"engine", pnrMode})
+		engineRuns = append(engineRuns, engineRun{record: "engine", emode: pnrMode})
 	}
 	if *mode == "all" || *mode == "sfc" {
-		engineRuns = append(engineRuns, struct{ record, emode string }{"engine_sfc", "sfc"})
+		engineRuns = append(engineRuns, engineRun{record: "engine_sfc", emode: "sfc"})
+		engineRuns = append(engineRuns, engineRun{record: "engine_sfc_3d", emode: "sfc", threeD: true})
 	}
 	if *mode == "all" || *mode == "mlkl" {
-		engineRuns = append(engineRuns, struct{ record, emode string }{"engine_mlkl", "mlkl"})
+		engineRuns = append(engineRuns, engineRun{record: "engine_mlkl", emode: "mlkl"})
 	}
 	for _, er := range engineRuns {
 		var ph experiments.EnginePhases
-		emode := er.emode
-		run(er.record, func() { ph = experiments.EngineDemo(w, scale, emode) }, "engine")
+		emode, threeD := er.emode, er.threeD
+		run(er.record, func() {
+			if threeD {
+				ph = experiments.EngineDemo3D(w, scale, emode)
+			} else {
+				ph = experiments.EngineDemo(w, scale, emode)
+			}
+		}, "engine")
 		for i := range report.Records {
 			if report.Records[i].Name == er.record {
 				r := &report.Records[i]

@@ -48,14 +48,19 @@ func MeshConformal(m *mesh.Mesh, where string) {
 // claimed by a partitioner equal the weights recomputed from scratch, and
 // that every vertex is assigned to a valid part.
 func PartitionWeights(g *graph.Graph, parts []int32, p int, claimed []int64, where string) {
-	if len(parts) != g.N() {
-		failf(where, "parts length %d != graph order %d", len(parts), g.N())
+	n := len(g.VW) // g.N()
+	if len(parts) != n {
+		failf(where, "parts length %d != graph order %d", len(parts), n)
 	}
 	if len(claimed) != p {
 		failf(where, "claimed weights length %d != part count %d", len(claimed), p)
 	}
+	// The guards above pin the lengths; the reslices restate that as facts
+	// the index proofs (and the compiler's BCE) can use.
+	parts = parts[:n]
+	claimed = claimed[:p]
 	truth := make([]int64, p)
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < n; v++ {
 		pt := parts[v]
 		if pt < 0 || int(pt) >= p {
 			failf(where, "vertex %d assigned to invalid part %d of %d", v, pt, p)

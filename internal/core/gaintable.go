@@ -196,8 +196,11 @@ func (t *gainTable) refreshTop(i, j int) {
 			// Weights of i or j changed: recompute the balance-dependent
 			// gain and reposition the entry.
 			q.pop()
+			// Part ids fit int32 throughout (p is a rank count).
+			//pared:narrow(1<<31 - 1)
 			extI, extJ := t.extTo(top.v, int32(i)), t.extTo(top.v, int32(j))
 			q.push(tableEntry{
+				//pared:narrow(1<<31 - 1)
 				gain:  t.gain(top.v, int32(j), extI, extJ),
 				v:     top.v,
 				stamp: top.stamp,
@@ -234,13 +237,14 @@ func (t *gainTable) selectBest() (v, to int32, gain float64) {
 			}
 			t.refreshTop(i, j)
 			q := t.queues[i*t.p+j]
-			if q.Len() == 0 {
+			if len(q) < 1 {
 				continue
 			}
 			top := q[0]
 			// ">= && v<" realizes the equal-gain tie-break without a float ==:
 			// the > clause has already failed when it is evaluated.
 			if v < 0 || top.gain > gain || (top.gain >= gain && top.v < v) {
+				//pared:narrow(1<<31 - 1)
 				v, to, gain = top.v, int32(j), top.gain
 			}
 		}

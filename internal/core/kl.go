@@ -75,15 +75,16 @@ func polishKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Conf
 
 //pared:hotpath append=boundary,moves,touched
 func runKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance bool) {
-	n := g.N()
+	n := len(g.VW) // g.N(), phrased as the length fact the index proofs chain from
 	if n == 0 || p <= 1 {
 		return
 	}
+	parts = parts[:n] // pin len(parts) = g.N()
 	if s == nil {
 		s = new(klScratch)
 	}
 	s.partW = growI64s(s.partW, p)
-	partW := s.partW
+	partW := s.partW[:p]
 	for j := 0; j < p; j++ {
 		partW[j] = 0
 	}
@@ -101,7 +102,7 @@ func runKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config,
 	s.locked = growBool(s.locked, n)
 	s.inBoundary = growBool(s.inBoundary, n)
 	s.extW = growI64s(s.extW, p)
-	locked, inBoundary, extW := s.locked, s.inBoundary, s.extW
+	locked, inBoundary, extW := s.locked[:n], s.inBoundary[:n], s.extW[:p]
 	for j := 0; j < p; j++ {
 		extW[j] = 0
 	}
@@ -238,15 +239,16 @@ func runKL(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config,
 //
 //pared:hotpath append=touched
 func forceBalance(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config) {
-	n := g.N()
+	n := len(g.VW) // g.N(), phrased as the length fact the index proofs chain from
 	if n == 0 || p <= 1 {
 		return
 	}
+	parts = parts[:n] // pin len(parts) = g.N()
 	if s == nil {
 		s = new(klScratch)
 	}
 	s.partW = growI64s(s.partW, p)
-	partW := s.partW
+	partW := s.partW[:p]
 	for j := 0; j < p; j++ {
 		partW[j] = 0
 	}
@@ -260,7 +262,7 @@ func forceBalance(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg 
 	avg := float64(total) / float64(p)
 	limit := int64(avg * (1 + cfg.Eps))
 	s.extW = growI64s(s.extW, p)
-	extW := s.extW
+	extW := s.extW[:p]
 	for j := 0; j < p; j++ {
 		extW[j] = 0
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pared/internal/fem"
+	"pared/internal/geom"
 	"pared/internal/graph"
 	"pared/internal/mesh"
 	"pared/internal/meshgen"
@@ -53,8 +54,35 @@ func EngineDemo(w io.Writer, scale Scale, mode string) EnginePhases {
 		gridN, steps, p, tol = 24, 20, 8, 8e-3
 	}
 	m0 := meshgen.RectTri(gridN, gridN, -1, -1, 1, 1)
+	return engineDemo(w, m0, steps, p, tol, mode, fem.TransientSolution,
+		fmt.Sprintf("Distributed engine (p=%d, %s): transient tracking through PARED phases P0-P3", p, mode))
+}
+
+// EngineDemo3D is EngineDemo on a tetrahedral box with the peak sliding
+// along the cube diagonal: the same distributed phases, but the SFC pipeline
+// exercises the 3-axis quantization and the 63-bit 3D curve keys instead of
+// the 62-bit 2D ones. Emitted as the engine_sfc_3d benchmark record so the
+// 3D key path has its own wall-time and phase-timing trajectory.
+func EngineDemo3D(w io.Writer, scale Scale, mode string) EnginePhases {
+	gridN, steps, p, tol := 4, 6, 4, 3e-2
+	if scale == Full {
+		gridN, steps, p, tol = 8, 12, 8, 1.2e-2
+	}
+	m0 := meshgen.BoxTet(gridN, gridN, gridN, -1, -1, -1, 1, 1, 1)
+	return engineDemo(w, m0, steps, p, tol, mode, transient3DSolutionAt,
+		fmt.Sprintf("Distributed engine 3D (p=%d, %s): transient tracking through PARED phases P0-P3", p, mode))
+}
+
+// transient3DSolutionAt adapts transient3DSolution to the estimator shape
+// shared with the 2D run.
+func transient3DSolutionAt(t float64) func(geom.Vec3) float64 {
+	return transient3DSolution(t)
+}
+
+// engineDemo is the shared driver behind EngineDemo and EngineDemo3D.
+func engineDemo(w io.Writer, m0 *mesh.Mesh, steps, p int, tol float64, mode string, sol func(float64) func(geom.Vec3) float64, title string) EnginePhases {
 	t := &Table{
-		Title:  fmt.Sprintf("Distributed engine (p=%d, %s): transient tracking through PARED phases P0-P3", p, mode),
+		Title:  title,
 		Header: []string{"step", "t", "elems", "rounds", "imb before", "moved elems", "moved trees", "imb after"},
 	}
 	if mode == "" {
@@ -65,7 +93,7 @@ func EngineDemo(w io.Writer, scale Scale, mode string) EnginePhases {
 		e := pared.BootstrapWith(c, m0, engineConfig(mode))
 		for step := 0; step < steps; step++ {
 			tt := -0.5 + float64(step)/float64(steps-1)
-			est := fem.InterpolationEstimator(fem.TransientSolution(tt))
+			est := fem.InterpolationEstimator(sol(tt))
 			var ast pared.AdaptStats
 			for pass := 0; pass < 3; pass++ {
 				ast2 := e.Adapt(est, tol, tol/4, 16)

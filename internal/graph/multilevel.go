@@ -85,6 +85,9 @@ func HeavyEdgeMatching(g *Graph, seed int64, allow func(u, v int32) bool) []int3
 	// under the same (weight desc, index asc) tie-break as the serial scan.
 	cand := make([]int32, n)
 	kern.For(n, matchGrain, func(lo, hi int) {
+		// lo/hi are chunk bounds in [0, n]; vertex counts fit int32 by the
+		// mesh contract (ids are int32 throughout).
+		//pared:narrow(1<<31 - 1)
 		for v := int32(lo); v < int32(hi); v++ {
 			best := int32(-1)
 			var bestW int64 = -1
@@ -187,6 +190,7 @@ func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32)
 		s = new(ContractScratch)
 	}
 	n := g.N()
+	match = match[:n] // pin len(match) = g.N(): match[v] is in-bounds for every vertex
 	f2c := make([]int32, n)
 	for i := range f2c {
 		f2c[i] = -1
@@ -224,6 +228,7 @@ func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32)
 		if m := s.second[c]; m >= 0 {
 			d += g.Degree(m)
 		}
+		//pared:narrow(1<<31 - 1)
 		s.capOff[c+1] = s.capOff[c] + int32(d)
 	}
 	s.adjBuf = growI32(s.adjBuf, int(s.capOff[ncInt]))
@@ -270,21 +275,21 @@ func ContractInto(g *Graph, match []int32, s *ContractScratch) (*Graph, []int32)
 				s.adjBuf[m], s.ewBuf[m] = s.adjBuf[i], s.ewBuf[i]
 				m++
 			}
+			//pared:narrow(1<<31 - 1)
 			cnt[c] = int32(m - base)
 		}
 	})
-	cg := &Graph{
-		Xadj: make([]int32, ncInt+1),
-		VW:   make([]int64, ncInt),
-	}
+	xadj := make([]int32, ncInt+1)
+	vw := make([]int64, ncInt)
 	for c := 0; c < ncInt; c++ {
-		cg.Xadj[c+1] = cg.Xadj[c] + cnt[c]
-		cg.VW[c] = g.VW[s.first[c]]
+		xadj[c+1] = xadj[c] + cnt[c]
+		vw[c] = g.VW[s.first[c]]
 		if m := s.second[c]; m >= 0 {
-			cg.VW[c] += g.VW[m]
+			vw[c] += g.VW[m]
 		}
 	}
-	nnz := int(cg.Xadj[ncInt])
+	cg := &Graph{Xadj: xadj, VW: vw}
+	nnz := int(xadj[ncInt])
 	cg.Adj = make([]int32, nnz)
 	cg.EW = make([]int64, nnz)
 	kern.For(ncInt, contractGrain, func(lo, hi int) {

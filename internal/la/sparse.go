@@ -101,7 +101,9 @@ func (b *Builder) Add(i, j int, v float64) {
 	if i < 0 || i >= b.n || j < 0 || j >= b.n {
 		panic(fmt.Sprintf("la: Add(%d,%d) out of range for n=%d", i, j, b.n))
 	}
+	//pared:narrow(1<<31 - 1)
 	b.rows = append(b.rows, int32(i))
+	//pared:narrow(1<<31 - 1)
 	b.cols = append(b.cols, int32(j))
 	b.vals = append(b.vals, v)
 }
@@ -128,6 +130,11 @@ func BuildCSR(n int, rows, cols []int32, vals []float64) *CSR {
 		panic("la: BuildCSR triplet slices have mismatched lengths")
 	}
 	nnzIn := len(rows)
+	// Bounds-establishing reslices: the guard above pins all three triplet
+	// slices to the same length, so cols[k]/vals[k] for k ranging over rows
+	// are provably in-bounds (and the compiler's BCE drops the checks).
+	cols = cols[:nnzIn]
+	vals = vals[:nnzIn]
 	// Stable counting sort by row: start[r] is row r's segment offset.
 	start := make([]int32, n+1)
 	for _, r := range rows {
@@ -171,14 +178,16 @@ func BuildCSR(n int, rows, cols []int32, vals []float64) *CSR {
 				scol[m], sval[m] = scol[k], sval[k]
 				m++
 			}
+			//pared:narrow(1<<31 - 1)
 			rowLen[r] = int32(m - s)
 		}
 	})
-	a := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	rowPtr := make([]int32, n+1)
 	for r := 0; r < n; r++ {
-		a.RowPtr[r+1] = a.RowPtr[r] + rowLen[r]
+		rowPtr[r+1] = rowPtr[r] + rowLen[r]
 	}
-	nnz := int(a.RowPtr[n])
+	a := &CSR{N: n, RowPtr: rowPtr}
+	nnz := int(rowPtr[n])
 	a.Col = make([]int32, nnz)
 	a.Val = make([]float64, nnz)
 	kern.For(n, rowGrain, func(lo, hi int) {
@@ -196,6 +205,7 @@ func BuildCSR(n int, rows, cols []int32, vals []float64) *CSR {
 //pared:hotpath
 func Dot(x, y []float64) float64 {
 	n := len(x)
+	y = y[:n] // pin the lengths together: y[i] is in-bounds wherever x[i] is
 	if kern.Workers() == 1 {
 		// Single-worker path: fold the same static chunks in the same
 		// ascending order as kern.Sum (the association is part of the

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The bce check proves slice and array indexes in //pared:hotpath functions
+// in-bounds, so the compiler's bounds-check elimination provably fires on the
+// hot loops. For every index expression s[i] whose index is affine —
+// composed of tracked locals, constants, len/cap facts and arithmetic, not a
+// value freshly loaded from memory — the interval analysis (ranges.go) must
+// show 0 ≤ i and i ≤ len(s) − 1. Failures report the derived interval and
+// the loop that widened it. Data-dependent indexes (x[col[k]], prefix-sum
+// scatters) are skipped: no local rewrite lets the compiler elide those
+// checks, so reporting them would only breed suppressions.
+//
+// Like hotalloc, the proof obligation follows the call graph: unannotated
+// functions reachable from a hotpath function run on the hot path too, so
+// their affine indexes carry the same obligation and failures are reported
+// at the hotpath call site with the witnessing path. Callees that are
+// themselves annotated (verified at their own declaration) and the audited
+// par/kern runtimes are not re-entered.
+//
+// The accepted idioms for making an index provable match what the compiler's
+// own BCE understands, cross-validated against -gcflags=-d=ssa/check_bce on
+// the bcexval fixture:
+//
+//	n := len(s)            // hoisted length: i < n proves s[i]
+//	_ = s[hi]              // bounds-establishing hint: hi ≤ len(s)−1 after
+//	b := s[lo:hi]          // reslice: len(b) = hi − lo
+//	k := v & 0xff          // masking: k ∈ [0, 255] vs [256]T arrays
+//
+// Genuinely dynamic-but-invariant indexes take a //paredlint:allow bce with
+// the invariant as the reason.
+
+// bceFact is one unprovable affine index in an unannotated callee, recorded
+// for call-graph propagation.
+type bceFact struct {
+	pos  token.Pos
+	desc string
+}
+
+var BCE = &Check{
+	Name: "bce",
+	Doc:  "affine slice/array indexes in //pared:hotpath functions must be provably in-bounds (interval analysis with len facts), so the compiler's bounds-check elimination fires; transitively through the call graph",
+	Run:  runBCE,
+}
+
+func runBCE(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			found, _, malformed := hotpathDirective(fd)
+			if !found || malformed || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			a := &rngAnal{info: p.Info, prog: p.Prog}
+			checkBodyBCE(p, a, fd.Name.Name, fd.Body, func(pos token.Pos, desc string) {
+				p.Reportf(pos, "hotpath function %s: %s", fd.Name.Name, desc)
+			})
+			// Function literals run on the hot path too, but have their own
+			// (non-inlined) CFGs.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					la := &rngAnal{info: p.Info, prog: p.Prog}
+					checkBodyBCE(p, la, fd.Name.Name, lit.Body, func(pos token.Pos, desc string) {
+						p.Reportf(pos, "hotpath function %s: %s", fd.Name.Name, desc)
+					})
+					return false
+				}
+				return true
+			})
+			// Transitive obligation: unannotated callees run on the hot path.
+			checkCalleesBCE(p, fd, fn)
+		}
+	}
+}
+
+// checkBodyBCE runs the interval analysis over one body and reports every
+// affine index it cannot prove in-bounds.
+func checkBodyBCE(p *Pass, a *rngAnal, fname string, body *ast.BlockStmt, report func(pos token.Pos, desc string)) {
+	a.analyzeBody(body, func(env absEnv, n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // analyzed separately
+			}
+			ix, ok := x.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if desc, bad := a.checkIndex(env, ix, p.Fset); bad {
+				report(ix.Pos(), desc)
+			}
+			return true
+		})
+	})
+}
+
+// checkIndex decides one index expression: (description, true) when it is an
+// affine index the analysis cannot prove in-bounds.
+func (a *rngAnal) checkIndex(env absEnv, ix *ast.IndexExpr, fset *token.FileSet) (string, bool) {
+	baseT := a.info.TypeOf(ix.X)
+	if baseT == nil {
+		return "", false
+	}
+	arrLen, isArr := arrayLen(baseT)
+	if !isArr {
+		if _, isSlice := baseT.Underlying().(*types.Slice); !isSlice {
+			return "", false // map index, string, generic instantiation
+		}
+	}
+	base, baseOK := a.atomOf(ix.X)
+	if !isArr && !baseOK {
+		// The base slice is not a trackable atom ((*p)[0], f()[i]): no local
+		// fact can ever prove such an index, so there is nothing actionable
+		// to report — like data-dependent indexes, the check is inherent.
+		return "", false
+	}
+	r := a.evalExpr(env, ix.Index)
+	okLo := proveNonNegative(r)
+	okHi := false
+	if isArr {
+		okHi = proveBelowLen(env, r, symRef{}, arrLen, true)
+	} else {
+		okHi = proveBelowLen(env, r, base, 0, false)
+	}
+	if okLo && okHi {
+		return "", false
+	}
+	if r.iv.opq {
+		return "", false // data-dependent: inherent bounds check, skip
+	}
+	baseName := exprString(ix.X)
+	var what string
+	switch {
+	case !okLo && !okHi:
+		what = "cannot prove 0 <= index and index < len(" + baseName + ")"
+	case !okLo:
+		what = "cannot prove index >= 0"
+	default:
+		what = "cannot prove index < len(" + baseName + ")"
+	}
+	if isArr && !okHi {
+		what = fmt.Sprintf("cannot prove index < %d (array length)", arrLen)
+	}
+	return fmt.Sprintf("bounds check on %s[%s] stays: %s; derived interval %s%s",
+		baseName, exprString(ix.Index), what, r.iv, a.widenNote(fset, ix.Index)), true
+}
+
+// checkCalleesBCE propagates the proof obligation into unannotated callees,
+// reporting at the hotpath call site with the witnessing path.
+func checkCalleesBCE(p *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(p.Info, call)
+		if callee == nil || isCollective(callee) || isKernEntry(callee) {
+			return true
+		}
+		seen := make(map[*FuncNode]bool)
+		if fn != nil {
+			if self := p.Prog.NodeOf(fn); self != nil {
+				seen[self] = true
+			}
+		}
+		for _, cn := range p.Prog.resolve(callee) {
+			if p.Prog.skipAllocNode(cn) {
+				continue // annotated callees verified at their own decl; audited runtimes trusted
+			}
+			if fact, path, ok := p.Prog.findBCEFact(cn, seen); ok {
+				fp := p.Fset.Position(fact.pos)
+				full := append([]string{fd.Name.Name}, path...)
+				p.ReportPathf(call.Pos(), full,
+					"hotpath function %s calls %s with an unprovable index: %s (%s:%d)",
+					fd.Name.Name, displayName(callee), fact.desc, relBase(fp.Filename), fp.Line)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// bceFacts summarizes the unprovable affine indexes of an unannotated
+// function, honoring its package's //paredlint:allow bce suppressions.
+func (prog *Program) bceFacts(n *FuncNode) []bceFact {
+	if prog.bceMemo == nil {
+		prog.bceMemo = make(map[*FuncNode][]bceFact)
+	}
+	if f, ok := prog.bceMemo[n]; ok {
+		return f
+	}
+	facts := []bceFact{}
+	prog.bceMemo[n] = facts // cut self-recursive re-entry during analysis
+	if n.Decl != nil && n.Decl.Body != nil {
+		if n.Pkg.allows == nil {
+			n.Pkg.buildAllows()
+		}
+		p := &Pass{Package: n.Pkg, Prog: prog}
+		a := &rngAnal{info: n.Pkg.Info, prog: prog}
+		checkBodyBCE(p, a, n.Fn.Name(), n.Decl.Body, func(pos token.Pos, desc string) {
+			if !n.Pkg.allowed("bce", p.Fset.Position(pos)) {
+				facts = append(facts, bceFact{pos: pos, desc: desc})
+			}
+		})
+	}
+	prog.bceMemo[n] = facts
+	return facts
+}
+
+// findBCEFact searches transitively for the first unprovable index reachable
+// from n, returning the witnessing call path.
+func (prog *Program) findBCEFact(n *FuncNode, seen map[*FuncNode]bool) (bceFact, []string, bool) {
+	if seen[n] {
+		return bceFact{}, nil, false
+	}
+	seen[n] = true
+	if facts := prog.bceFacts(n); len(facts) > 0 {
+		return facts[0], []string{displayName(n.Fn)}, true
+	}
+	for _, cs := range prog.prunedCallsOf(n) {
+		if isCollective(cs.callee) || isKernEntry(cs.callee) {
+			continue
+		}
+		for _, cn := range prog.resolve(cs.callee) {
+			if prog.skipAllocNode(cn) {
+				continue
+			}
+			if f, path, ok := prog.findBCEFact(cn, seen); ok {
+				return f, append([]string{displayName(n.Fn)}, path...), true
+			}
+		}
+	}
+	return bceFact{}, nil, false
+}
+
+// exprString renders a small expression for diagnostics (single line,
+// truncated).
+func exprString(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSeededBugBoundsTwoDeep is the bce seeded-bug acceptance test: a bounds
+// check reintroduced two calls below a hotpath function (the extracted loop
+// in bceseed swapped its bound from the written slice to the id list) must
+// be caught at the hotpath call site with the full witness path
+// scatterOwned -> pack -> fill.
+func TestSeededBugBoundsTwoDeep(t *testing.T) {
+	pkg := loadFixture(t, "bceseed")
+	diags := Run([]*Package{pkg}, []*Check{BCE})
+	var hit *Diagnostic
+	for i, d := range diags {
+		if strings.Contains(d.Msg, "calls bceseed.pack with an unprovable index") {
+			hit = &diags[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("bounds check two calls below the hotpath was not flagged; got %d diags: %v", len(diags), diags)
+	}
+	if !strings.Contains(hit.Msg, "vals[i]") {
+		t.Errorf("finding should name the unprovable index expression: %s", hit.Msg)
+	}
+	joined := strings.Join(hit.Path, " -> ")
+	for _, frag := range []string{"scatterOwned", "pack", "fill"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("witness path missing %s: %v", frag, hit.Path)
+		}
+	}
+	// The data-dependent scatter dst[ids[i]] is an inherent check: it must
+	// NOT be reported (lint noise on every gather/scatter otherwise).
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "dst[ids[i]]") {
+			t.Errorf("data-dependent scatter index reported: %s", d.Msg)
+		}
+	}
+}
+
+// TestBCECompilerCrossValidation runs the compiler's own bounds-check
+// elimination (go build -gcflags=-d=ssa/check_bce) over the bcexval fixture
+// and requires line-by-line agreement: every // BOUND line draws both a bce
+// finding and a compiler "Found IsInBounds", every // ELIDED line draws
+// neither, and no bce finding anywhere lands on a line the compiler proved.
+func TestBCECompilerCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	pkg := loadFixture(t, "bcexval")
+	diags := Run([]*Package{pkg}, []*Check{BCE})
+	flagged := make(map[int]string)
+	for _, d := range diags {
+		flagged[d.Pos.Line] = d.Msg
+	}
+	if len(flagged) == 0 {
+		t.Fatalf("bce found nothing in the cross-validation fixture")
+	}
+
+	cmd := exec.Command(goBin, "build", "-gcflags=-d=ssa/check_bce", "./internal/lint/testdata/src/bcexval/")
+	cmd.Dir = moduleRootForTest(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-d=ssa/check_bce: %v\n%s", err, out)
+	}
+	keptRE := regexp.MustCompile(`xval\.go:(\d+):\d+: Found IsInBounds$`)
+	kept := make(map[int]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		if m := keptRE.FindStringSubmatch(line); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			kept[n] = true
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatalf("compiler reported no retained bounds checks:\n%s", out)
+	}
+
+	src := fixtureLines(t, pkg)
+	for line, text := range src {
+		switch {
+		case strings.Contains(text, "// BOUND"):
+			if _, ok := flagged[line]; !ok {
+				t.Errorf("line %d (%s): compiler-retained bounds check not flagged by bce", line, strings.TrimSpace(text))
+			}
+			if !kept[line] {
+				t.Errorf("line %d: the compiler now elides this check; update the fixture", line)
+			}
+		case strings.Contains(text, "// ELIDED"):
+			if msg, ok := flagged[line]; ok {
+				t.Errorf("line %d: compiler-elided check flagged by bce: %s", line, msg)
+			}
+			if kept[line] {
+				t.Errorf("line %d: the compiler no longer elides this check; update the fixture", line)
+			}
+		}
+	}
+	// Soundness direction: a bce finding on a line the compiler proved would
+	// be a false positive anywhere in the fixture.
+	for line, msg := range flagged {
+		if !kept[line] {
+			t.Errorf("bce flagged line %d (%s) but the compiler elides the check there", line, msg)
+		}
+	}
+}
+
+// TestHotPathsProvablyClean pins the acceptance criterion for the engine
+// tree itself: bce and intwidth run clean over every package — all real
+// findings were fixed (len-hoisting, reslice hints) or carry verified
+// //pared:narrow annotations, and regressions surface here first.
+func TestHotPathsProvablyClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, []*Check{BCE, IntWidth}) {
+		t.Errorf("hot path no longer provably safe: %s", d)
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestCacheRoundTrip pins the incremental-lint contract: the first run over
+// a package misses and stores, the second hits and replays byte-identical
+// diagnostics, and the key changes with the check list (so `-only bce`
+// results can never satisfy a full run).
+func TestCacheRoundTrip(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, "intwidthseed")
+	cache := NewCache(t.TempDir(), l)
+	if cache == nil {
+		t.Fatal("NewCache returned nil for a valid loader")
+	}
+
+	pkgs := []*Package{pkg}
+	checks := []*Check{IntWidth}
+	cold, _, stats := RunCachedTimed(pkgs, checks, cache)
+	if stats.Hits != 0 || stats.Misses != 1 {
+		t.Fatalf("cold run: want 0 hits / 1 miss, got %d/%d", stats.Hits, stats.Misses)
+	}
+	if len(cold) == 0 {
+		t.Fatalf("seeded fixture produced no diagnostics")
+	}
+
+	warm, timings, stats := RunCachedTimed(pkgs, checks, cache)
+	if stats.Hits != 1 || stats.Misses != 0 {
+		t.Fatalf("warm run: want 1 hit / 0 misses, got %d/%d", stats.Hits, stats.Misses)
+	}
+	if len(timings) != 0 {
+		t.Errorf("full-hit run should not build the call graph or run checks, got timings %v", timings)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("replayed %d diagnostics, analyzed %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].String() != cold[i].String() {
+			t.Errorf("replayed diagnostic drifted:\n  cold: %s\n  warm: %s", cold[i], warm[i])
+		}
+	}
+
+	k1, ok1 := cache.key(pkg, []*Check{IntWidth})
+	k2, ok2 := cache.key(pkg, []*Check{IntWidth, BCE})
+	if !ok1 || !ok2 {
+		t.Fatal("key computation failed for a loadable fixture")
+	}
+	if k1 == k2 {
+		t.Error("cache key must depend on the check list")
+	}
+
+	// Degraded mode: a nil cache is plain RunTimed.
+	none, _, stats := RunCachedTimed(pkgs, checks, nil)
+	if stats.Hits != 0 || stats.Misses != 0 {
+		t.Errorf("nil cache should report no cache traffic, got %d/%d", stats.Hits, stats.Misses)
+	}
+	if len(none) != len(cold) {
+		t.Errorf("nil-cache run returned %d diagnostics, want %d", len(none), len(cold))
+	}
+}

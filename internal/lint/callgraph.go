@@ -127,6 +127,13 @@ type Program struct {
 	allocMemo    map[*FuncNode][]allocFact
 	prunedMemo   map[*FuncNode][]callSite
 	callOnlyMemo map[*types.Func]map[int]bool
+
+	// value-range memos (ranges.go / bce.go): per-function return-interval
+	// summaries (with an in-progress set cutting recursion) and per-function
+	// unprovable-index facts for call-graph propagation.
+	rangeMemo map[*types.Func]ival
+	rangeOn   map[*types.Func]bool
+	bceMemo   map[*FuncNode][]bceFact
 }
 
 // BuildProgram indexes the packages and computes the call graph and effect

@@ -1,0 +1,450 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The intwidth check audits bit-level arithmetic in //pared:hotpath
+// functions: narrowing integer conversions and left shifts whose operand
+// interval can exceed the target width. The SFC layer packs 31/21 bits per
+// axis into 62/63-bit curve keys and narrows owner ids to int32 at
+// typed-collective boundaries; a refactor that widens a loop bound or swaps
+// a quantization constant can silently truncate there, producing wrong
+// partitions rather than crashes.
+//
+// A site is clean when the derived interval of the operand provably fits the
+// target: uint32(q) after `if q > max { q = max }` with a constant max, or
+// int32(b) for b masked with & 0xff. Values bounded by a slice length are
+// accepted for 32-bit-or-wider targets: the mesh layer's element and vertex
+// ids are int32 by construction, so in-memory slice lengths fit int32 — a
+// deliberate, documented soundness trade-off (DESIGN.md §12).
+//
+// Unprovable-but-intended sites carry a verified annotation instead of a
+// blind suppression:
+//
+//	//pared:narrow(1<<31 - 1)
+//	return int32(j)
+//
+// claims the converted value stays in [0, bound] (or [-bound, bound] for
+// signed sources); on a shift the bound claims the result's magnitude
+// instead, covering counts the analysis cannot bound (1<<bits with a
+// caller-supplied width). The check verifies the claim against the analysis
+// rather than
+// trusting it: the bound must fit the target width, the derived interval
+// must not prove the claim false, and an annotation on a site the analysis
+// already proves — or on no flaggable site at all — is reported as stale, so
+// annotations cannot outlive the code they justified.
+
+var IntWidth = &Check{
+	Name: "intwidth",
+	Doc:  "narrowing integer conversions and left shifts in //pared:hotpath functions must have operand intervals provably inside the target width, or carry a //pared:narrow(bound) annotation the analysis verifies",
+	Run:  runIntWidth,
+}
+
+// narrowMarkRE decides whether a comment is a narrow directive at all;
+// narrowRE then validates its shape. Bound forms: a decimal integer, 1<<N,
+// or 1<<N - 1 (spaces optional).
+var (
+	narrowMarkRE = regexp.MustCompile(`^//\s*pared:narrow\b`)
+	narrowRE     = regexp.MustCompile(`^//\s*pared:narrow\(([^)]*)\)\s*$`)
+)
+
+// narrowEntry is one parsed //pared:narrow directive. used means some
+// unprovable site consumed it; proved means a site it covers was proved
+// without it (only stale if nothing consumed it — a line can hold both a
+// provable and an unprovable conversion).
+type narrowEntry struct {
+	bound     int64
+	pos       token.Pos
+	malformed bool
+	used      bool
+	proved    bool
+}
+
+// parseNarrowBound accepts "123", "1<<31", "1<<31 - 1", "1<<31-1".
+func parseNarrowBound(s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, true
+	}
+	var off int64
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		tail := strings.TrimSpace(s[i+1:])
+		if v, err := strconv.ParseInt(tail, 10, 64); err == nil {
+			off = -v
+			s = strings.TrimSpace(s[:i])
+		}
+	}
+	if rest, ok := strings.CutPrefix(s, "1"); ok {
+		rest = strings.TrimSpace(rest)
+		if rest, ok = strings.CutPrefix(rest, "<<"); ok {
+			if sh, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64); err == nil && sh >= 0 && sh < 63 {
+				return (int64(1) << sh) + off, true
+			} else if err == nil && sh == 63 && off == -1 {
+				return 1<<63 - 1, true // MaxInt64: the full uint64-result claim
+			}
+		}
+	}
+	return 0, false
+}
+
+// narrowDirectives scans a file's comments for pared:narrow annotations,
+// keyed filename → line they apply to (directive line and the line below,
+// like allow directives).
+func narrowDirectives(fset *token.FileSet, f *ast.File) map[int]*narrowEntry {
+	byLine := make(map[int]*narrowEntry)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			txt := c.Text
+			if !narrowMarkRE.MatchString(txt) {
+				continue
+			}
+			e := &narrowEntry{pos: c.Pos()}
+			if m := narrowRE.FindStringSubmatch(txt); m != nil {
+				if v, ok := parseNarrowBound(m[1]); ok && v >= 0 {
+					e.bound = v
+				} else {
+					e.malformed = true
+				}
+			} else {
+				e.malformed = true
+			}
+			byLine[fset.Position(c.Pos()).Line] = e
+		}
+	}
+	return byLine
+}
+
+func runIntWidth(p *Pass) {
+	for _, f := range p.Files {
+		narrows := narrowDirectives(p.Fset, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			found, _, malformed := hotpathDirective(fd)
+			if !found || malformed || fd.Body == nil {
+				continue
+			}
+			w := &widthChecker{pass: p, a: &rngAnal{info: p.Info, prog: p.Prog}, narrows: narrows, fname: fd.Name.Name}
+			w.a.analyzeBody(fd.Body, w.checkNode)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lw := &widthChecker{pass: p, a: &rngAnal{info: p.Info, prog: p.Prog}, narrows: narrows, fname: fd.Name.Name}
+					lw.a.analyzeBody(lit.Body, lw.checkNode)
+					return false
+				}
+				return true
+			})
+		}
+		// Malformed and stale directives: an annotation that parsed wrong, or
+		// that no flagged-or-verified site consumed, is reported so narrows
+		// cannot rot silently.
+		for _, e := range narrows {
+			switch {
+			case e.malformed:
+				p.Reportf(e.pos, "malformed pared:narrow directive: want //pared:narrow(bound) with bound a decimal, 1<<N, or 1<<N - 1")
+			case !e.used && e.proved:
+				p.Reportf(e.pos, "stale pared:narrow directive: the conversion or shift it covers provably fits without it")
+			case !e.used:
+				p.Reportf(e.pos, "stale pared:narrow directive: no narrowing conversion or shift on this line or the line below needs it")
+			}
+		}
+	}
+}
+
+// widthChecker carries the per-function state for the replay pass.
+type widthChecker struct {
+	pass    *Pass
+	a       *rngAnal
+	narrows map[int]*narrowEntry
+	fname   string
+}
+
+func (w *widthChecker) checkNode(env absEnv, n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own CFG
+		case *ast.CallExpr:
+			w.checkConv(env, e)
+		case *ast.BinaryExpr:
+			if e.Op == token.SHL {
+				w.checkShift(env, e)
+			}
+		}
+		return true
+	})
+}
+
+// narrowFor finds the directive covering pos (same line or line above).
+func (w *widthChecker) narrowFor(pos token.Pos) *narrowEntry {
+	line := w.pass.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		if e := w.narrows[l]; e != nil && !e.malformed {
+			return e
+		}
+	}
+	return nil
+}
+
+// checkConv audits one integer→integer conversion T(x).
+func (w *widthChecker) checkConv(env absEnv, call *ast.CallExpr) {
+	tv, ok := w.a.info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	src := w.a.info.TypeOf(call.Args[0])
+	if !isIntType(dst) || !isIntType(src) {
+		return // float/string conversions are out of scope for width safety
+	}
+	if coversType(dst, src) {
+		return // widening or same-range conversion can never truncate
+	}
+	r := w.a.evalExpr(env, call.Args[0])
+	if w.fits(env, r, dst) {
+		w.markProved(call.Pos(), dst, "conversion")
+		return
+	}
+	if e := w.narrowFor(call.Pos()); e != nil {
+		e.used = true
+		w.verifyNarrow(e, call.Pos(), r, dst, fmt.Sprintf("%s(%s)", dst, exprString(call.Args[0])))
+		return
+	}
+	w.pass.Reportf(call.Pos(),
+		"hotpath function %s: narrowing conversion %s(%s) may truncate: derived interval %s exceeds %s%s; prove the range or annotate //pared:narrow(bound)",
+		w.fname, dst, exprString(call.Args[0]), r.iv, dst, w.a.widenNote(w.pass.Fset, call.Args[0]))
+}
+
+// checkShift audits one left shift x << k against the width of its own type.
+func (w *widthChecker) checkShift(env absEnv, e *ast.BinaryExpr) {
+	if tv, ok := w.a.info.Types[e]; ok && tv.Value != nil {
+		return // constant-folded: the compiler already rejects overflow
+	}
+	t := w.a.info.TypeOf(e)
+	if !isIntType(t) {
+		return
+	}
+	l := w.a.evalExpr(env, e.X)
+	k := w.a.evalExpr(env, e.Y)
+	if shiftFits(l.iv, k.iv, t) {
+		w.markProved(e.Pos(), t, "shift")
+		return
+	}
+	if ne := w.narrowFor(e.Pos()); ne != nil {
+		ne.used = true
+		// On a shift the bound claims the *result* magnitude: x << k stays
+		// within [−bound, bound]. That covers both unprovable shapes — a
+		// widened operand (accumulator d<<2) and an unbounded count
+		// (uint32(1)<<(bits−1)) — with one verifiable contract.
+		desc := fmt.Sprintf("%s << %s", exprString(e.X), exprString(e.Y))
+		if !w.boundHolds(l.iv, ne.bound) {
+			// k ≥ 0 at runtime (negative counts panic), so the operand alone
+			// already exceeding the bound disproves the claim.
+			w.pass.Reportf(e.Pos(),
+				"hotpath function %s: pared:narrow(%d) contradicted on %s: derived operand interval %s provably exceeds the claimed result bound",
+				w.fname, ne.bound, desc, l.iv)
+			return
+		}
+		wd, signed, ok := intWidthOf(t)
+		avail := int64(wd)
+		if signed {
+			avail--
+		}
+		if !ok || int64(nbits(uint64(ne.bound))) > avail {
+			w.pass.Reportf(e.Pos(),
+				"hotpath function %s: pared:narrow(%d) insufficient on %s: the claimed result bound itself exceeds %s",
+				w.fname, ne.bound, desc, t)
+		}
+		return
+	}
+	w.pass.Reportf(e.Pos(),
+		"hotpath function %s: shift %s << %s may overflow %s: operand interval %s%s; prove the range or annotate //pared:narrow(bound)",
+		w.fname, exprString(e.X), exprString(e.Y), t, l.iv, w.a.widenNote(w.pass.Fset, e.X))
+}
+
+// markProved records that a covering narrow directive was not needed for
+// this site; it becomes a stale report only if no other site consumed it.
+func (w *widthChecker) markProved(pos token.Pos, t types.Type, kind string) {
+	if e := w.narrowFor(pos); e != nil {
+		e.proved = true
+	}
+}
+
+// verifyNarrow checks a consumed directive on a conversion site: the claimed
+// bound must itself fit the target, and the derived interval must not prove
+// the claim false.
+func (w *widthChecker) verifyNarrow(e *narrowEntry, pos token.Pos, r rng, dst types.Type, desc string) {
+	claimed := ival{lo: 0, hi: e.bound}
+	if r.iv.loUnb || r.iv.lo < 0 {
+		claimed.lo = -e.bound
+	}
+	if !fitsType(claimed, dst) {
+		w.pass.Reportf(pos,
+			"hotpath function %s: pared:narrow(%d) insufficient on %s: the claimed bound itself exceeds %s",
+			w.fname, e.bound, desc, dst)
+		return
+	}
+	if !w.boundHolds(r.iv, e.bound) {
+		w.pass.Reportf(pos,
+			"hotpath function %s: pared:narrow(%d) contradicted on %s: derived interval %s provably exceeds the claimed bound",
+			w.fname, e.bound, desc, r.iv)
+	}
+}
+
+// boundHolds reports whether the derived interval is consistent with
+// |value| ≤ bound — false only when the analysis proves the claim wrong.
+func (w *widthChecker) boundHolds(iv ival, bound int64) bool {
+	if !iv.loUnb && iv.lo > bound {
+		return false
+	}
+	if !iv.hiUnb && iv.hi < -bound {
+		return false
+	}
+	return true
+}
+
+// fits reports whether r provably fits dst, either numerically or through
+// the len-bounded trade-off: values in [0, len(s)+k] for small k fit 32-bit
+// targets because in-memory slice lengths fit int32 (mesh ids are int32 by
+// construction; DESIGN.md §12).
+func (w *widthChecker) fits(env absEnv, r rng, dst types.Type) bool {
+	if fitsType(r.iv, dst) {
+		return true
+	}
+	di := typeIval(dst)
+	if !di.hiUnb && di.hi < 1<<31-1 {
+		return false // narrower than int32: the trade-off does not apply
+	}
+	if !proveNonNegative(r) {
+		return false // possibly negative: sign is not covered by the trade-off
+	}
+	return r.iv.lb || lenBounded(env, r)
+}
+
+// lenBounded reports whether r carries an upper-bound chain (depth ≤ 2) to a
+// len(s) fact with a small offset.
+func lenBounded(env absEnv, r rng) bool {
+	const maxOff = int64(16)
+	for ref, k := range r.ub {
+		if k > maxOff {
+			continue
+		}
+		if ref.isLen {
+			return true
+		}
+		for ref2, k2 := range env[ref].ub {
+			if ref2.isLen && k+k2 <= maxOff {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coversType reports whether dst's range includes all of src's: such a
+// conversion is value-preserving for every possible operand.
+func coversType(dst, src types.Type) bool {
+	d, s := typeIval(dst), typeIval(src)
+	if (s.loUnb && !d.loUnb) || (s.hiUnb && !d.hiUnb) {
+		return false
+	}
+	if !d.loUnb && s.lo < d.lo {
+		return false
+	}
+	if !d.hiUnb && s.hi > d.hi {
+		return false
+	}
+	// int64-family sources are modeled unbounded; int64-family targets cover
+	// them except when the source admits values above MaxInt64 (uint64-family,
+	// also modeled unbounded above). Distinguish by the source kind.
+	if s.hiUnb && d.hiUnb && isUnsigned64(src) && !isUnsigned64(dst) {
+		return false
+	}
+	if s.loUnb && d.loUnb {
+		return true
+	}
+	return true
+}
+
+func isUnsigned64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint64, types.Uint, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// shiftFits reports whether (operand iv) << (count iv) provably fits t's
+// actual bit width. typeIval models 64-bit types as unbounded, so this proof
+// runs on bit counts instead: the operand's magnitude bits plus the maximum
+// shift must stay inside the width (minus the sign bit for signed types).
+// Negative operands are never proved — left-shifting a possibly negative
+// value is flagged unless annotated.
+func shiftFits(l, k ival, t types.Type) bool {
+	w, signed, ok := intWidthOf(t)
+	if !ok {
+		return false
+	}
+	if l.loUnb || l.hiUnb || k.hiUnb || l.lo < 0 || l.hi < 0 {
+		return false
+	}
+	kmax := k.hi
+	if kmax < 0 {
+		return false
+	}
+	avail := int64(w)
+	if signed {
+		avail--
+	}
+	return int64(nbits(uint64(l.hi)))+kmax <= avail
+}
+
+// nbits is the number of significant bits in v.
+func nbits(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// intWidthOf returns the bit width and signedness of an integer type.
+func intWidthOf(t types.Type) (int, bool, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0, false, false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return 8, true, true
+	case types.Int16:
+		return 16, true, true
+	case types.Int32, types.UntypedRune:
+		return 32, true, true
+	case types.Int64, types.Int, types.UntypedInt:
+		return 64, true, true
+	case types.Uint8:
+		return 8, false, true
+	case types.Uint16:
+		return 16, false, true
+	case types.Uint32:
+		return 32, false, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 64, false, true
+	}
+	return 0, false, false
+}

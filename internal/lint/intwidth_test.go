@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseNarrowBound covers the //pared:narrow bound grammar.
+func TestParseNarrowBound(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"123", 123, true},
+		{"0x10", 16, true}, // ParseInt base 0: hex spellings work
+		{"1<<31", 1 << 31, true},
+		{"1<<31 - 1", 1<<31 - 1, true},
+		{"1<<31-1", 1<<31 - 1, true},
+		{"1 << 20", 1 << 20, true},
+		{"1<<62 - 1", 1<<62 - 1, true},
+		{"1<<63 - 1", 1<<63 - 1, true}, // MaxInt64: the full uint64-result claim
+		{"1<<63", 0, false},            // bare 2^63 overflows int64
+		{"1<<64 - 1", 0, false},
+		{"2<<10", 0, false}, // only 1<<N shapes
+		{"abc", 0, false},
+		{"", 0, false},
+		{"1<<31 - 2", 1<<31 - 2, true},
+	} {
+		got, ok := parseNarrowBound(tt.in)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("parseNarrowBound(%q) = (%d, %v), want (%d, %v)", tt.in, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+// TestSeededBug3DKeyOverflow is the intwidth seeded-bug acceptance test: a
+// 32-bit overflow reachable only on the 3D key path. The branch joins the 2D
+// and 3D shift amounts, so the shared shift site must be flagged while the
+// 2D-only sibling stays clean.
+func TestSeededBug3DKeyOverflow(t *testing.T) {
+	pkg := loadFixture(t, "intwidthseed")
+	diags := Run([]*Package{pkg}, []*Check{IntWidth})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the 3D-path overflow, got %d diags: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Msg, "may overflow uint32") {
+		t.Errorf("finding should name the overflowing width: %s", d.Msg)
+	}
+	src := fixtureLines(t, pkg)
+	if !strings.Contains(src[d.Pos.Line], "<< sh") {
+		t.Errorf("finding should land on the branch-sensitive shift, got line %d: %s", d.Pos.Line, src[d.Pos.Line])
+	}
+	if !strings.Contains(d.Msg, "function key:") {
+		t.Errorf("the 2D-only sibling must stay clean, finding attributed to: %s", d.Msg)
+	}
+}
+
+// TestNarrowDirectiveLifecycle covers the directive pathologies whose
+// diagnostics land on the directive comment itself (where a fixture want
+// comment cannot sit): malformed bounds, directives covering sites that
+// prove without them, and directives covering no narrowing site at all. A
+// malformed directive is not a suppression, so its site still reports.
+func TestNarrowDirectiveLifecycle(t *testing.T) {
+	pkg := loadFixture(t, "intwidthnarrow")
+	diags := Run([]*Package{pkg}, []*Check{IntWidth})
+	src := fixtureLines(t, pkg)
+	lineOf := func(frag string) int {
+		for l, text := range src {
+			if strings.Contains(text, frag) {
+				return l
+			}
+		}
+		t.Fatalf("fixture lost its %q marker", frag)
+		return 0
+	}
+	wants := []struct {
+		line int
+		frag string
+	}{
+		{lineOf("narrow(255)"), "stale pared:narrow directive: the conversion or shift it covers provably fits"},
+		{lineOf("narrow(9)"), "stale pared:narrow directive: no narrowing conversion or shift"},
+		{lineOf("narrow(bogus)"), "malformed pared:narrow directive"},
+		{lineOf("return int32(v)"), "narrowing conversion int32(v) may truncate"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Pos.Line == w.line && strings.Contains(d.Msg, w.frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected %q at line %d, diags: %v", w.frag, w.line, diags)
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("want exactly %d diagnostics, got %d: %v", len(wants), len(diags), diags)
+	}
+}

@@ -45,6 +45,21 @@
 //	               concatenation are flagged, transitively through the call
 //	               graph (hotalloc.go).
 //
+// The value-range layer (ranges.go) runs an interval abstract interpretation
+// over the same CFGs — widening at loop heads, narrowing from branch
+// conditions, len/cap symbolic facts, interprocedural range summaries — and
+// powers two more checks:
+//
+//	bce      — every slice index in a //pared:hotpath function must be
+//	           provably in-bounds so the compiler drops the bounds check;
+//	           unprovable indexes are reported with their derived interval
+//	           and, for callees, the call path. Cross-validated line-by-line
+//	           against go build -gcflags=-d=ssa/check_bce (bce.go).
+//	intwidth — narrowing conversions and shifts whose operand interval can
+//	           exceed the target width are flagged; intentional sites carry
+//	           //pared:narrow(bound), which is verified against the derived
+//	           interval rather than trusted (intwidth.go).
+//
 // The analyzer is stdlib-only (go/parser, go/ast, go/types); see
 // cmd/paredlint for the command-line driver.
 //
@@ -96,7 +111,7 @@ type Check struct {
 // built on the whole-program call graph (callgraph.go) and the CFG layer
 // (cfg.go).
 func AllChecks() []*Check {
-	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep, Collective, SPMD, KernPure, ScratchAlias, DetFloat, HotAlloc}
+	return []*Check{MapOrder, RawConc, FloatEq, ErrCheck, Sleep, Collective, SPMD, KernPure, ScratchAlias, DetFloat, HotAlloc, BCE, IntWidth}
 }
 
 // Package is one loaded, type-checked package.

@@ -38,6 +38,8 @@ func TestFixtures(t *testing.T) {
 		{ScratchAlias, "scratchalias"},
 		{DetFloat, "detfloat"},
 		{HotAlloc, "hotalloc"},
+		{BCE, "bce"},
+		{IntWidth, "intwidth"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check.Name, func(t *testing.T) {

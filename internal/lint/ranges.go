@@ -1,0 +1,1981 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the value-range layer of the analysis stack: an
+// interval abstract interpretation over the syntax-directed CFG (cfg.go).
+// Where the effect layer (callgraph.go) answers "can this function reach a
+// collective", the range layer answers "what values can this expression take"
+// — the question behind bounds-check elimination (bce.go) and integer-width
+// safety (intwidth.go).
+//
+// The domain is a product of:
+//
+//   - a numeric interval [lo, hi] over int64 with explicit ±∞ flags. Values
+//     of uint64/uint expressions above MaxInt64 are represented as +∞ (the
+//     analysis targets 64-bit platforms; int and uint are treated as 64 bits
+//     wide);
+//   - symbolic upper-bound edges "value ≤ ref + k" where ref is another
+//     tracked atom or the length of a tracked slice (len facts). `i < len(s)`
+//     narrows i with the edge i ≤ len(s) − 1; `n := len(s)` gives n the edge
+//     n ≤ len(s) + 0; proving s[i] in-bounds is then a bounded search over
+//     these edges;
+//   - an opacity bit marking values loaded from memory or returned by
+//     unresolved calls. Opaque values are data-dependent (a.Col[k], prefix
+//     sums): indexes that fail to prove AND are opaque are skipped rather
+//     than reported, because no local rewrite can make the compiler elide
+//     those checks — they are inherent to gather-style access.
+//
+// Atoms are local variables, parameters, and field chains rooted at a local
+// (t.p, a.RowPtr). Variables whose address is taken or that are written from
+// a nested function literal are untracked. Loop heads widen: when a head's
+// joined state still changes after the first visit, growing bounds go to ±∞
+// and unstable symbolic edges are dropped, and the position of the widening
+// loop is recorded so diagnostics can point at the path that widened an
+// index. Branch conditions narrow on the CFG edge they guard, re-bounding
+// widened variables inside the loop body (the classic widen-at-head,
+// narrow-on-edge scheme).
+//
+// Interprocedural facts flow two ways: callee→caller through returnRange
+// (per-function return-value intervals, memoized on Program, cycle-guarded),
+// and the bce/intwidth drivers walk hotpath callees' bodies directly, so a
+// bounds check reintroduced two calls below an annotated function is still
+// found and reported with its call path.
+
+// ---------------------------------------------------------------------------
+// Intervals
+
+const (
+	negInf = -1 << 63
+	posInf = 1<<63 - 1
+)
+
+// ival is a numeric interval with explicit unbounded flags and the opacity
+// (data-dependence) bit. lb marks values provably bounded by the length of
+// some in-memory slice: the mesh layer's element and vertex ids are int32 by
+// construction, so such values fit 32-bit-or-wider targets even when the
+// numeric interval cannot show it — a deliberate, documented soundness
+// trade-off (DESIGN.md §12) that keeps int32 loop bounds like
+// `for v := int32(0); v < int32(n); v++` analyzable when n derives from a
+// length.
+type ival struct {
+	lo, hi       int64
+	loUnb, hiUnb bool
+	opq          bool
+	lb           bool
+}
+
+func topIval() ival { return ival{loUnb: true, hiUnb: true} }
+
+func constIval(v int64) ival { return ival{lo: v, hi: v} }
+
+func (a ival) isTop() bool { return a.loUnb && a.hiUnb }
+
+// boundsString renders the interval for diagnostics: "[0, len-1]" style.
+func (a ival) String() string {
+	lo, hi := "-inf", "+inf"
+	if !a.loUnb {
+		lo = fmt.Sprintf("%d", a.lo)
+	}
+	if !a.hiUnb {
+		hi = fmt.Sprintf("%d", a.hi)
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+func joinIval(a, b ival) ival {
+	out := ival{opq: a.opq || b.opq, lb: a.lb && b.lb}
+	out.loUnb = a.loUnb || b.loUnb
+	if !out.loUnb {
+		out.lo = min64(a.lo, b.lo)
+	}
+	out.hiUnb = a.hiUnb || b.hiUnb
+	if !out.hiUnb {
+		out.hi = max64(a.hi, b.hi)
+	}
+	return out
+}
+
+// meetIval intersects two intervals; an empty meet (unreachable state)
+// collapses to the tighter operand rather than bottom — safe for a checker
+// that only ever uses meets to narrow.
+func meetIval(a, b ival) ival {
+	// opq is provenance, not range: narrowing a data-dependent value with a
+	// type bound or branch fact does not make it locally derived.
+	out := ival{opq: a.opq || b.opq, lb: a.lb || b.lb}
+	out.loUnb = a.loUnb && b.loUnb
+	switch {
+	case a.loUnb:
+		out.lo = b.lo
+	case b.loUnb:
+		out.lo = a.lo
+	default:
+		out.lo = max64(a.lo, b.lo)
+	}
+	out.hiUnb = a.hiUnb && b.hiUnb
+	switch {
+	case a.hiUnb:
+		out.hi = b.hi
+	case b.hiUnb:
+		out.hi = a.hi
+	default:
+		out.hi = min64(a.hi, b.hi)
+	}
+	if !out.loUnb && !out.hiUnb && out.lo > out.hi {
+		return a
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addIval adds intervals with saturation to ±∞ on overflow.
+func addIval(a, b ival) ival {
+	out := ival{opq: a.opq || b.opq}
+	out.loUnb = a.loUnb || b.loUnb
+	if !out.loUnb {
+		out.lo, out.loUnb = addSat(a.lo, b.lo)
+	}
+	out.hiUnb = a.hiUnb || b.hiUnb
+	if !out.hiUnb {
+		out.hi, out.hiUnb = addSat(a.hi, b.hi)
+	}
+	return out
+}
+
+// addSat returns a+b, flagging overflow as unbounded.
+func addSat(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, true
+	}
+	return s, false
+}
+
+func negIval(a ival) ival {
+	out := ival{opq: a.opq}
+	out.loUnb = a.hiUnb
+	out.hiUnb = a.loUnb
+	if !out.loUnb {
+		out.lo = -a.hi
+	}
+	if !out.hiUnb {
+		out.hi = -a.lo
+	}
+	return out
+}
+
+func subIval(a, b ival) ival { return addIval(a, negIval(b)) }
+
+// mulSat multiplies with overflow detection.
+func mulSat(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, true
+	}
+	return p, false
+}
+
+func mulIval(a, b ival) ival {
+	if a.loUnb || a.hiUnb || b.loUnb || b.hiUnb {
+		// Unbounded factors: only the sign structure survives; keep it simple.
+		out := topIval()
+		out.opq = a.opq || b.opq
+		if !a.loUnb && !b.loUnb && a.lo >= 0 && b.lo >= 0 {
+			out.loUnb, out.lo = false, 0
+		}
+		return out
+	}
+	candidates := [4]struct {
+		v   int64
+		unb bool
+	}{}
+	pairs := [4][2]int64{{a.lo, b.lo}, {a.lo, b.hi}, {a.hi, b.lo}, {a.hi, b.hi}}
+	for i, pr := range pairs {
+		candidates[i].v, candidates[i].unb = mulSat(pr[0], pr[1])
+	}
+	out := ival{lo: posInf, hi: negInf, opq: a.opq || b.opq}
+	for _, c := range candidates {
+		if c.unb {
+			// An overflowing corner makes the corresponding side unbounded.
+			out.loUnb, out.hiUnb = true, true
+			continue
+		}
+		out.lo = min64(out.lo, c.v)
+		out.hi = max64(out.hi, c.v)
+	}
+	if out.loUnb {
+		out.lo = 0
+	}
+	if out.hiUnb {
+		out.hi = 0
+	}
+	// Nonnegative factors keep a sound zero lower bound even when a corner
+	// overflowed upward.
+	if a.lo >= 0 && b.lo >= 0 && !a.loUnb && !b.loUnb {
+		out.loUnb = false
+		if out.lo < 0 {
+			out.lo = 0
+		}
+	}
+	return out
+}
+
+// quoIval divides a by b (Go truncated division), tight only for constant
+// positive divisors — the index-arithmetic case that matters.
+func quoIval(a, b ival) ival {
+	if !b.loUnb && !b.hiUnb && b.lo == b.hi && b.lo > 0 {
+		d := b.lo
+		out := ival{opq: a.opq || b.opq, loUnb: a.loUnb, hiUnb: a.hiUnb}
+		if !a.loUnb {
+			out.lo = a.lo / d
+		}
+		if !a.hiUnb {
+			out.hi = a.hi / d
+		}
+		return out
+	}
+	out := topIval()
+	out.opq = a.opq || b.opq
+	if !a.loUnb && !a.hiUnb && b.lo >= 1 && !b.loUnb {
+		// Positive divisor: magnitude cannot grow.
+		out = ival{lo: min64(a.lo, 0), hi: max64(a.hi, 0), opq: out.opq}
+	}
+	return out
+}
+
+// remIval models a % b. For a constant positive divisor the result is in
+// (-d, d), and in [0, d) when the dividend is nonnegative (Go's % follows the
+// dividend's sign).
+func remIval(a, b ival) ival {
+	opq := a.opq || b.opq
+	if !b.loUnb && !b.hiUnb && b.lo == b.hi && b.lo > 0 {
+		d := b.lo
+		if !a.loUnb && a.lo >= 0 {
+			return ival{lo: 0, hi: d - 1, opq: opq}
+		}
+		return ival{lo: -(d - 1), hi: d - 1, opq: opq}
+	}
+	out := topIval()
+	out.opq = opq
+	if !a.loUnb && a.lo >= 0 {
+		out.loUnb, out.lo = false, 0
+	}
+	return out
+}
+
+// shlIval shifts left; a constant shift is a power-of-two multiply.
+func shlIval(a, b ival) ival {
+	if !b.loUnb && !b.hiUnb && b.lo == b.hi && b.lo >= 0 && b.lo < 63 {
+		return mulIval(a, constIval(int64(1)<<uint(b.lo)))
+	}
+	out := topIval()
+	out.opq = a.opq || b.opq
+	if !a.loUnb && a.lo >= 0 {
+		out.loUnb, out.lo = false, 0
+	}
+	return out
+}
+
+// shrIval shifts right (for nonnegative values a division by 2^k).
+func shrIval(a, b ival) ival {
+	opq := a.opq || b.opq
+	if !b.loUnb && !b.hiUnb && b.lo == b.hi && b.lo >= 0 && b.lo < 63 {
+		if !a.loUnb && a.lo >= 0 {
+			out := ival{lo: a.lo >> uint(b.lo), opq: opq}
+			out.hiUnb = a.hiUnb
+			if !a.hiUnb {
+				out.hi = a.hi >> uint(b.lo)
+			}
+			return out
+		}
+	}
+	// Nonnegative operand stays nonnegative under any shift (uint64 shifts of
+	// values above MaxInt64 are already +∞ and stay conservative).
+	out := topIval()
+	out.opq = opq
+	if !a.loUnb && a.lo >= 0 {
+		out.loUnb, out.lo = false, 0
+	}
+	return out
+}
+
+// andIval models bitwise AND: against a nonnegative constant mask the result
+// is [0, mask] regardless of the other operand — the masking idiom radix
+// sorts rely on for BCE.
+func andIval(a, b ival) ival {
+	opq := a.opq || b.opq
+	mask := int64(-1)
+	if !a.loUnb && !a.hiUnb && a.lo == a.hi && a.lo >= 0 {
+		mask = a.lo
+	}
+	if !b.loUnb && !b.hiUnb && b.lo == b.hi && b.lo >= 0 {
+		if mask < 0 || b.lo < mask {
+			mask = b.lo
+		}
+	}
+	if mask >= 0 {
+		return ival{lo: 0, hi: mask, opq: opq}
+	}
+	if !a.loUnb && a.lo >= 0 && !b.loUnb && b.lo >= 0 {
+		hi, hiUnb := a.hi, a.hiUnb
+		if b.hiUnb || (!hiUnb && b.hi < hi) {
+			// AND of nonnegatives is bounded by either operand.
+		}
+		if !b.hiUnb && (hiUnb || b.hi < hi) {
+			hi, hiUnb = b.hi, false
+		}
+		return ival{lo: 0, hi: hi, hiUnb: hiUnb, opq: opq}
+	}
+	out := topIval()
+	out.opq = opq
+	return out
+}
+
+// orXorIval bounds | and ^ of nonnegative operands by the next power of two.
+func orXorIval(a, b ival) ival {
+	opq := a.opq || b.opq
+	if !a.loUnb && a.lo >= 0 && !b.loUnb && b.lo >= 0 && !a.hiUnb && !b.hiUnb {
+		m := max64(a.hi, b.hi)
+		// Smallest 2^k−1 covering both operands bounds the bitwise result.
+		bound := int64(1)
+		for bound-1 < m && bound > 0 {
+			bound <<= 1
+		}
+		if bound > 0 {
+			return ival{lo: 0, hi: bound - 1, opq: opq}
+		}
+		return ival{lo: 0, hiUnb: true, opq: opq}
+	}
+	out := topIval()
+	out.opq = opq
+	if !a.loUnb && a.lo >= 0 && !b.loUnb && b.lo >= 0 {
+		out.loUnb, out.lo = false, 0
+	}
+	return out
+}
+
+// typeIval is the interval a type alone guarantees. int/uint are 64 bits
+// (the project targets 64-bit platforms; DESIGN.md §12 records the
+// assumption). uint64/uint upper bounds exceed int64 and become +∞.
+func typeIval(t types.Type) ival {
+	if t == nil {
+		return topIval()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return topIval()
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return ival{lo: -1 << 7, hi: 1<<7 - 1}
+	case types.Int16:
+		return ival{lo: -1 << 15, hi: 1<<15 - 1}
+	case types.Int32, types.UntypedRune:
+		return ival{lo: -1 << 31, hi: 1<<31 - 1}
+	case types.Int64, types.Int:
+		return ival{loUnb: true, hiUnb: true}
+	case types.Uint8:
+		return ival{lo: 0, hi: 1<<8 - 1}
+	case types.Uint16:
+		return ival{lo: 0, hi: 1<<16 - 1}
+	case types.Uint32:
+		return ival{lo: 0, hi: 1<<32 - 1}
+	case types.Uint64, types.Uint, types.Uintptr:
+		return ival{lo: 0, hiUnb: true}
+	case types.UntypedInt:
+		return ival{loUnb: true, hiUnb: true}
+	}
+	return topIval()
+}
+
+// fitsType reports whether every value of a provably fits t's range.
+func fitsType(a ival, t types.Type) bool {
+	r := typeIval(t)
+	if a.loUnb && !r.loUnb {
+		return false
+	}
+	if a.hiUnb && !r.hiUnb {
+		return false
+	}
+	if !r.loUnb && a.lo < r.lo {
+		return false
+	}
+	if !r.hiUnb && a.hi > r.hi {
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Atoms and abstract environments
+
+// symRef names one tracked quantity: a variable (possibly through a field
+// chain rooted at it) or the length of such a slice-valued atom.
+type symRef struct {
+	v     *types.Var
+	path  string
+	isLen bool
+}
+
+func (r symRef) lenOf() symRef { return symRef{v: r.v, path: r.path, isLen: true} }
+
+func (r symRef) String() string {
+	name := r.v.Name()
+	if r.path != "" {
+		name += "." + r.path
+	}
+	if r.isLen {
+		return "len(" + name + ")"
+	}
+	return name
+}
+
+// rng is one atom's abstract value: a numeric interval plus symbolic
+// upper-bound edges value ≤ ref + k.
+type rng struct {
+	iv ival
+	ub map[symRef]int64
+}
+
+func (r rng) clone() rng {
+	out := rng{iv: r.iv}
+	if len(r.ub) > 0 {
+		out.ub = make(map[symRef]int64, len(r.ub))
+		for k, v := range r.ub {
+			out.ub[k] = v
+		}
+	}
+	return out
+}
+
+// shiftUB returns r's edges displaced by +d (for r+const arithmetic);
+// d unrepresentable drops the edges.
+func (r rng) shiftUB(d int64) map[symRef]int64 {
+	if len(r.ub) == 0 {
+		return nil
+	}
+	out := make(map[symRef]int64, len(r.ub))
+	for k, v := range r.ub {
+		if s, unb := addSat(v, d); !unb {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+func joinRng(a, b rng, envA, envB absEnv) rng {
+	out := rng{iv: joinIval(a.iv, b.iv)}
+	keep := func(k symRef, v int64) {
+		if out.ub == nil {
+			out.ub = make(map[symRef]int64)
+		}
+		out.ub[k] = v
+	}
+	for k, va := range a.ub {
+		if vb, ok := b.ub[k]; ok {
+			keep(k, max64(va, vb))
+		} else if edgeHolds(envB, b, k, va) {
+			// The argmax idiom: h := 0 joined with h = j (j ≤ ref+va). The
+			// constant side has no edge, but its concrete interval satisfies
+			// it in its own env (0 ≤ p−1 once p ≥ 1), so the edge survives.
+			keep(k, va)
+		}
+	}
+	for k, vb := range b.ub {
+		if _, ok := a.ub[k]; !ok && edgeHolds(envA, a, k, vb) {
+			keep(k, vb)
+		}
+	}
+	return out
+}
+
+// edgeHolds reports whether r's concrete interval alone implies r ≤ ref+off
+// in env: hi(r) ≤ lo(ref)+off with both sides finite (a missing length ref
+// still has lo = 0 — lengths are nonnegative).
+func edgeHolds(env absEnv, r rng, ref symRef, off int64) bool {
+	if r.iv.hiUnb {
+		return false
+	}
+	lo := int64(0)
+	if kr, ok := env[ref]; ok {
+		if kr.iv.loUnb {
+			return false
+		}
+		lo = kr.iv.lo
+	} else if !ref.isLen {
+		return false
+	}
+	return r.iv.hi <= lo+off
+}
+
+func rngEqual(a, b rng) bool {
+	if a.iv != b.iv || len(a.ub) != len(b.ub) {
+		return false
+	}
+	for k, va := range a.ub {
+		if vb, ok := b.ub[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// absEnv maps atoms to their abstract values. A missing atom is unknown
+// (its type interval).
+type absEnv map[symRef]rng
+
+func (e absEnv) clone() absEnv {
+	out := make(absEnv, len(e))
+	for k, v := range e {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+func joinEnv(a, b absEnv) absEnv {
+	out := make(absEnv)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = joinRng(va, vb, a, b)
+		}
+	}
+	return out
+}
+
+func envEqual(a, b absEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || !rngEqual(va, vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// widenEnv widens old against the freshly joined state: growing numeric
+// bounds go to ±∞, symbolic edges that loosened or vanished are dropped.
+// Returns the widened state and the atoms it widened.
+func widenEnv(old, next absEnv) (absEnv, []symRef) {
+	out := make(absEnv)
+	var widened []symRef
+	for k, nv := range next {
+		ov, ok := old[k]
+		if !ok {
+			// First value observed at this head: admit it; the visit cap in
+			// the fixpoint driver bounds oscillation.
+			out[k] = nv.clone()
+			continue
+		}
+		w := rng{iv: nv.iv}
+		hit := false
+		if nv.iv.loUnb && !ov.iv.loUnb || (!nv.iv.loUnb && !ov.iv.loUnb && nv.iv.lo < ov.iv.lo) {
+			w.iv.loUnb, w.iv.lo = true, 0
+			hit = true
+		}
+		if nv.iv.hiUnb && !ov.iv.hiUnb || (!nv.iv.hiUnb && !ov.iv.hiUnb && nv.iv.hi > ov.iv.hi) {
+			w.iv.hiUnb, w.iv.hi = true, 0
+			hit = true
+		}
+		for ref, nk := range nv.ub {
+			okK, ok := ov.ub[ref]
+			switch {
+			case !ok, nk <= okK:
+				// Stable/tightened edge, or a fact newly established by the
+				// env-aware join: admit it (the fixpoint visit cap bounds any
+				// oscillation this could cause).
+				if w.ub == nil {
+					w.ub = make(map[symRef]int64)
+				}
+				w.ub[ref] = nk
+			default:
+				hit = true // edge loosened: drop it
+			}
+		}
+		if hit {
+			widened = append(widened, k)
+		}
+		out[k] = w
+	}
+	return out, widened
+}
+
+// ---------------------------------------------------------------------------
+// The per-function analysis
+
+// rangeChecker is the per-statement hook bce/intwidth install: it receives
+// every reachable statement or condition with the abstract environment in
+// force just before it.
+type rangeChecker func(env absEnv, n ast.Node)
+
+// rngAnal runs the interval interpretation over one function body.
+type rngAnal struct {
+	info *types.Info
+	prog *Program
+
+	untracked map[*types.Var]bool // address taken or written from a nested literal
+	widenedAt map[symRef]token.Pos
+
+	retIval ival // join of return-expression intervals (summary mode)
+	hasRet  bool
+}
+
+// analyzeBody runs the fixpoint over body and, when check is non-nil, replays
+// the transfer calling check at each statement and condition. It returns the
+// join of single-result return expressions for summary building.
+func (a *rngAnal) analyzeBody(body *ast.BlockStmt, check rangeChecker) {
+	a.untracked = findUntracked(a.info, body)
+	a.widenedAt = make(map[symRef]token.Pos)
+	cfg := BuildCFG(body)
+	n := len(cfg.Blocks)
+	in := make([]absEnv, n)
+	visits := make([]int, n)
+	in[cfg.Entry.Index] = make(absEnv)
+
+	// Worklist fixpoint in block-index order (deterministic).
+	const maxVisits = 12
+	work := []int{cfg.Entry.Index}
+	inWork := make([]bool, n)
+	inWork[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		sort.Ints(work)
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		blk := cfg.Blocks[bi]
+		env := in[bi]
+		if env == nil {
+			continue
+		}
+		visits[bi]++
+		out := a.transferBlock(blk, env.clone(), nil)
+		for si, succ := range blk.Succs {
+			se := a.edgeEnv(blk, si, out.clone())
+			cur := in[succ.Index]
+			var next absEnv
+			if cur == nil {
+				next = se
+			} else {
+				next = joinEnv(cur, se)
+			}
+			isHead := succ.Loop != nil && succ.Loop.Head == succ
+			if cur != nil && isHead && !envEqual(cur, next) {
+				var widened []symRef
+				if visits[succ.Index] >= maxVisits {
+					// Safety valve: force convergence by keeping only facts
+					// already stable in cur.
+					next, widened = widenEnv(next, cur)
+				} else {
+					next, widened = widenEnv(cur, next)
+				}
+				for _, ref := range widened {
+					if _, ok := a.widenedAt[ref]; !ok {
+						a.widenedAt[ref] = succ.Pos
+					}
+				}
+			}
+			if cur == nil || !envEqual(cur, next) {
+				in[succ.Index] = next
+				if !inWork[succ.Index] {
+					work = append(work, succ.Index)
+					inWork[succ.Index] = true
+				}
+			}
+		}
+	}
+
+	if check != nil {
+		for _, blk := range cfg.Blocks {
+			if in[blk.Index] == nil {
+				continue
+			}
+			a.transferBlock(blk, in[blk.Index].clone(), check)
+		}
+	}
+}
+
+// findUntracked marks variables the analysis must not reason about: address
+// taken anywhere in the body, or assigned inside a nested function literal
+// (another goroutine or a later call could change them behind the analysis).
+func findUntracked(info *types.Info, body ast.Node) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if id := rootIdent(e); id != nil {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			} else if v, ok := info.Defs[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				mark(x.X)
+			}
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				switch y := m.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range y.Lhs {
+						mark(lhs)
+					}
+				case *ast.IncDecStmt:
+					mark(y.X)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// atomOf resolves e to a tracked atom: an identifier or a field chain rooted
+// at a local/param identifier.
+func (a *rngAnal) atomOf(e ast.Expr) (symRef, bool) {
+	e = unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := a.info.Uses[x].(*types.Var)
+		if !ok {
+			v, ok = a.info.Defs[x].(*types.Var)
+		}
+		if !ok || v.IsField() || isPkgLevel(v) || a.untracked[v] {
+			return symRef{}, false
+		}
+		return symRef{v: v}, true
+	case *ast.SelectorExpr:
+		// Field chain: x.f or x.f.g with x a tracked local.
+		var fields []string
+		cur := e
+		for {
+			sel, ok := unparen(cur).(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			if _, isField := a.info.Selections[sel]; !isField {
+				return symRef{}, false // package-qualified name, not a field
+			}
+			fields = append([]string{sel.Sel.Name}, fields...)
+			cur = sel.X
+		}
+		id, ok := unparen(cur).(*ast.Ident)
+		if !ok {
+			return symRef{}, false
+		}
+		v, ok := a.info.Uses[id].(*types.Var)
+		if !ok || isPkgLevel(v) || a.untracked[v] {
+			return symRef{}, false
+		}
+		return symRef{v: v, path: strings.Join(fields, ".")}, true
+	}
+	return symRef{}, false
+}
+
+// killAtom removes all knowledge of ref: its own entries and every symbolic
+// edge pointing at it (or at its length).
+func killAtom(env absEnv, ref symRef) {
+	delete(env, ref)
+	delete(env, ref.lenOf())
+	for k, r := range env {
+		if len(r.ub) == 0 {
+			continue
+		}
+		for tgt := range r.ub {
+			if tgt.v == ref.v && tgt.path == ref.path {
+				nr := r.clone()
+				delete(nr.ub, tgt)
+				delete(nr.ub, tgt.lenOf())
+				env[k] = nr
+				break
+			}
+		}
+	}
+	if ref.path == "" {
+		// Overwriting the root invalidates every field chain under it.
+		var dead []symRef
+		for k := range env {
+			if k.v == ref.v && k.path != "" {
+				dead = append(dead, k)
+			}
+		}
+		for _, k := range dead {
+			killAtom(env, symRef{v: k.v, path: k.path})
+		}
+	}
+}
+
+// killFieldAtoms drops every field-chain atom (and edges to them): a call may
+// write through any pointer it can reach. Plain locals survive — a callee
+// cannot reassign a caller's local whose address is never taken.
+func killFieldAtoms(env absEnv) {
+	var dead []symRef
+	for k := range env {
+		if k.path != "" && !k.isLen {
+			dead = append(dead, k)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].path < dead[j].path })
+	for _, k := range dead {
+		killAtom(env, k)
+	}
+}
+
+// hasOpaqueCall reports whether n contains a call the transfer must treat as
+// clobbering field atoms (anything except builtins and len/cap).
+func (a *rngAnal) hasOpaqueCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if _, isB := a.info.Uses[id].(*types.Builtin); isB {
+				return true
+			}
+		}
+		if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		found = true
+		return true
+	})
+	return found
+}
+
+// transferBlock interprets one block's statements and conditions, invoking
+// check (when set) before each with the current environment.
+func (a *rngAnal) transferBlock(blk *Block, env absEnv, check rangeChecker) absEnv {
+	for _, s := range blk.Stmts {
+		if check != nil {
+			check(env, s)
+		}
+		a.transferStmt(env, s)
+	}
+	for _, c := range blk.Conds {
+		if check != nil {
+			check(env, c)
+		}
+	}
+	return env
+}
+
+func (a *rngAnal) transferStmt(env absEnv, s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		a.transferAssign(env, x)
+	case *ast.IncDecStmt:
+		if ref, ok := a.atomOf(x.X); ok {
+			d := int64(1)
+			if x.Tok == token.DEC {
+				d = -1
+			}
+			cur := a.lookup(env, ref, x.X)
+			nr := rng{iv: addIval(cur.iv, constIval(d)), ub: cur.shiftUB(d)}
+			nr.iv = meetIval(nr.iv, typeIval(a.info.TypeOf(x.X)))
+			killAtom(env, ref)
+			env[ref] = nr
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					ref, ok := a.atomOf(name)
+					if !ok {
+						continue
+					}
+					killAtom(env, ref)
+					if len(vs.Values) == len(vs.Names) {
+						a.assignTo(env, ref, vs.Values[i])
+					} else if len(vs.Values) == 0 {
+						// Zero value.
+						if isIntType(a.info.TypeOf(name)) {
+							env[ref] = rng{iv: constIval(0)}
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if a.hasOpaqueCall(x) {
+			killFieldAtoms(env)
+		}
+	case *ast.ReturnStmt:
+		if len(x.Results) == 1 {
+			a.retIval = joinRetIval(a.hasRet, a.retIval, a.evalExpr(env, x.Results[0]).iv)
+			a.hasRet = true
+		}
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt:
+		killFieldAtoms(env)
+	}
+}
+
+func joinRetIval(has bool, cur, next ival) ival {
+	if !has {
+		return next
+	}
+	return joinIval(cur, next)
+}
+
+// transferAssign handles =, := and the arithmetic op-assigns.
+func (a *rngAnal) transferAssign(env absEnv, x *ast.AssignStmt) {
+	if a.hasOpaqueCall(x) {
+		killFieldAtoms(env)
+	}
+	// Bounds-establishing hint: `_ = s[k]` panics unless 0 ≤ k < len(s); the
+	// surviving path has learned both bounds (the deliberate one-check-
+	// outside-the-loop BCE idiom).
+	if x.Tok == token.ASSIGN && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+		if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+			if ix, ok := unparen(x.Rhs[0]).(*ast.IndexExpr); ok {
+				a.learnIndexFact(env, ix)
+				return
+			}
+		}
+	}
+	switch x.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(x.Lhs) == len(x.Rhs) {
+			// Evaluate all RHS first (swap semantics), then bind.
+			vals := make([]rng, len(x.Rhs))
+			lens := make([]*rng, len(x.Rhs))
+			for i, rhs := range x.Rhs {
+				vals[i] = a.evalExpr(env, rhs)
+				lens[i] = a.sliceLenRng(env, rhs)
+			}
+			for i, lhs := range x.Lhs {
+				ref, ok := a.atomOf(lhs)
+				if !ok {
+					continue
+				}
+				killAtom(env, ref)
+				env[ref] = vals[i]
+				if lens[i] != nil {
+					env[ref.lenOf()] = *lens[i]
+					a.reverseLenEdges(env, ref, x.Rhs[i])
+				}
+				// n := len(s) is an equality: record len(s) ≤ n too, so an
+				// index proven below len(s) also proves against slices
+				// resliced to n (the hoisted-length idiom).
+				if sRef, ok := a.lenCallAtom(x.Rhs[i]); ok {
+					nr := a.lookup(env, sRef.lenOf(), nil).clone()
+					if nr.ub == nil {
+						nr.ub = make(map[symRef]int64)
+					}
+					if old, okOld := nr.ub[ref]; !okOld || 0 < old {
+						nr.ub[ref] = 0
+					}
+					env[sRef.lenOf()] = nr
+				}
+			}
+		} else {
+			// Multi-value RHS (call, map read): kill all targets.
+			for _, lhs := range x.Lhs {
+				if ref, ok := a.atomOf(lhs); ok {
+					killAtom(env, ref)
+				}
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+		token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_ASSIGN,
+		token.OR_ASSIGN, token.XOR_ASSIGN:
+		ref, ok := a.atomOf(x.Lhs[0])
+		if !ok {
+			return
+		}
+		cur := a.lookup(env, ref, x.Lhs[0])
+		rhs := a.evalExpr(env, x.Rhs[0])
+		var nr rng
+		switch x.Tok {
+		case token.ADD_ASSIGN:
+			nr = rng{iv: addIval(cur.iv, rhs.iv)}
+			if !rhs.iv.loUnb && !rhs.iv.hiUnb && rhs.iv.lo == rhs.iv.hi {
+				nr.ub = cur.shiftUB(rhs.iv.lo)
+			}
+		case token.SUB_ASSIGN:
+			nr = rng{iv: subIval(cur.iv, rhs.iv)}
+			if !rhs.iv.loUnb && !rhs.iv.hiUnb && rhs.iv.lo == rhs.iv.hi {
+				nr.ub = cur.shiftUB(-rhs.iv.lo)
+			}
+		case token.MUL_ASSIGN:
+			nr = rng{iv: mulIval(cur.iv, rhs.iv)}
+		case token.QUO_ASSIGN:
+			nr = rng{iv: quoIval(cur.iv, rhs.iv)}
+		case token.REM_ASSIGN:
+			nr = rng{iv: remIval(cur.iv, rhs.iv)}
+		case token.SHL_ASSIGN:
+			nr = rng{iv: shlIval(cur.iv, rhs.iv)}
+		case token.SHR_ASSIGN:
+			nr = rng{iv: shrIval(cur.iv, rhs.iv)}
+		case token.AND_ASSIGN:
+			nr = rng{iv: andIval(cur.iv, rhs.iv)}
+		default:
+			nr = rng{iv: orXorIval(cur.iv, rhs.iv)}
+		}
+		nr.iv = meetIval(nr.iv, typeIval(a.info.TypeOf(x.Lhs[0])))
+		killAtom(env, ref)
+		env[ref] = nr
+	default:
+		for _, lhs := range x.Lhs {
+			if ref, ok := a.atomOf(lhs); ok {
+				killAtom(env, ref)
+			}
+		}
+	}
+}
+
+// assignTo binds ref to the value (and, for slices, length facts) of rhs.
+func (a *rngAnal) assignTo(env absEnv, ref symRef, rhs ast.Expr) {
+	env[ref] = a.evalExpr(env, rhs)
+	if lr := a.sliceLenRng(env, rhs); lr != nil {
+		env[ref.lenOf()] = *lr
+	}
+}
+
+// sliceLenRng derives the length fact of a slice-typed RHS:
+//
+//	s2 := s[lo:hi]   → len(s2) = hi − lo
+//	s2 := s          → len(s2) = len(s)
+//	s2 := make(_, n) → len(s2) = n
+//
+// Returns nil when rhs is not a slice or nothing is known.
+func (a *rngAnal) sliceLenRng(env absEnv, rhs ast.Expr) *rng {
+	t := a.info.TypeOf(rhs)
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	rhs = unparen(rhs)
+	switch x := rhs.(type) {
+	case *ast.SliceExpr:
+		if x.Slice3 {
+			break
+		}
+		var lo rng
+		if x.Low == nil {
+			lo = rng{iv: constIval(0)}
+		} else {
+			lo = a.evalExpr(env, x.Low)
+		}
+		var hi rng
+		if x.High == nil {
+			// s[lo:] has length len(s) − lo.
+			if base, ok := a.atomOf(x.X); ok {
+				hi = a.lookup(env, base.lenOf(), nil)
+				hi.ub = map[symRef]int64{base.lenOf(): 0}
+				hi.iv = meetIval(hi.iv, ival{lo: 0, hiUnb: true})
+			} else {
+				return nil
+			}
+		} else {
+			hi = a.evalExpr(env, x.High)
+		}
+		out := rng{iv: subIval(hi.iv, lo.iv)}
+		out.iv = meetIval(out.iv, ival{lo: 0, hiUnb: true})
+		if !lo.iv.loUnb && !lo.iv.hiUnb && lo.iv.lo == lo.iv.hi {
+			out.ub = hi.shiftUB(-lo.iv.lo)
+			if hiRef, ok := a.atomOf(x.High); ok && x.High != nil {
+				if out.ub == nil {
+					out.ub = make(map[symRef]int64)
+				}
+				out.ub[hiRef] = -lo.iv.lo
+			}
+		}
+		return &out
+	case *ast.Ident, *ast.SelectorExpr:
+		if base, ok := a.atomOf(rhs); ok {
+			lr := a.lookup(env, base.lenOf(), nil)
+			out := lr.clone()
+			if out.ub == nil {
+				out.ub = make(map[symRef]int64)
+			}
+			out.ub[base.lenOf()] = 0
+			out.iv = meetIval(out.iv, ival{lo: 0, hiUnb: true})
+			return &out
+		}
+	case *ast.CallExpr:
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) >= 2 {
+			if _, isB := a.info.Uses[id].(*types.Builtin); isB {
+				n := a.evalExpr(env, x.Args[1])
+				out := rng{iv: meetIval(n.iv, ival{lo: 0, hiUnb: true})}
+				if nRef, ok := a.atomOf(x.Args[1]); ok {
+					out.ub = map[symRef]int64{nRef: 0}
+				}
+				return &out
+			}
+		}
+	}
+	return nil
+}
+
+// learnIndexFact digests the `_ = s[k]` hint: on the fall-through path,
+// k ∈ [0, len(s)−1] (or [0, L−1] for arrays).
+func (a *rngAnal) learnIndexFact(env absEnv, ix *ast.IndexExpr) {
+	base, baseOK := a.atomOf(ix.X)
+	arrLen, isArr := arrayLen(a.info.TypeOf(ix.X))
+	idx := unparen(ix.Index)
+	// Peel  k+c  /  k−c  to adjust the learned bounds.
+	ref, off, ok := a.atomPlusConst(env, idx)
+	if !ok {
+		return
+	}
+	cur := a.lookup(env, ref, nil)
+	nr := cur.clone()
+	// ref + off ≥ 0  →  ref ≥ −off.
+	if nr.iv.loUnb || nr.iv.lo < -off {
+		nr.iv.loUnb, nr.iv.lo = false, -off
+	}
+	if isArr {
+		hi := arrLen - 1 - off
+		if nr.iv.hiUnb || nr.iv.hi > hi {
+			nr.iv.hiUnb, nr.iv.hi = false, hi
+		}
+	} else if baseOK {
+		if nr.ub == nil {
+			nr.ub = make(map[symRef]int64)
+		}
+		k := -1 - off
+		if old, okOld := nr.ub[base.lenOf()]; !okOld || k < old {
+			nr.ub[base.lenOf()] = k
+		}
+		if off >= 0 {
+			nr.iv.lb = true // ref ≤ len(base) − 1 − off
+		}
+	}
+	env[ref] = nr
+}
+
+// reverseLenEdges records the callee-facing direction of a length equality:
+// after s := make([]T, n) the analysis knows len(s) ≤ n (sliceLenRng), but
+// proving s[i] from i ≤ n−1 needs n ≤ len(s) too. The same holds for plain
+// copies (len(src) = len(dst)) and reslices b := s[c:hi] (hi ≤ len(b)+c).
+// make and the slice expression panic on a negative size, so the fall-through
+// path also learns the size atom is nonnegative and len-bounded.
+func (a *rngAnal) reverseLenEdges(env absEnv, ref symRef, rhs ast.Expr) {
+	addEdge := func(from symRef, k int64) {
+		nr := a.lookup(env, from, nil).clone()
+		if nr.ub == nil {
+			nr.ub = make(map[symRef]int64)
+		}
+		if old, ok := nr.ub[ref.lenOf()]; !ok || k < old {
+			nr.ub[ref.lenOf()] = k
+		}
+		lo := int64(0)
+		if k < 0 {
+			lo = k // from ≤ len(ref) + k with len ≥ 0 only bounds from below by k
+		}
+		nr.iv = meetIval(nr.iv, ival{lo: lo, hiUnb: true, lb: true})
+		env[from] = nr
+	}
+	switch x := unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) >= 2 {
+			if _, isB := a.info.Uses[id].(*types.Builtin); isB {
+				// make(_, n+c) pins n = len(s) − c, so n ≤ len(s) − c (and
+				// n ≥ −c: make panics on negative lengths). c = 0 is the plain
+				// atom; c = 1 is the prefix-sum array idiom make([]T, n+1),
+				// whose fills run to index n.
+				if nRef, c, ok := a.atomPlusConst(env, x.Args[1]); ok {
+					addEdge(nRef, -c)
+				}
+			}
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if src, ok := a.atomOf(rhs); ok && src != ref {
+			addEdge(src.lenOf(), 0)
+		}
+	case *ast.SliceExpr:
+		if x.Slice3 || x.High == nil {
+			return
+		}
+		lo := int64(0)
+		if x.Low != nil {
+			c, ok := constInt64(a.info.Types[x.Low])
+			if !ok {
+				return
+			}
+			lo = c
+		}
+		if hiRef, ok := a.atomOf(x.High); ok {
+			addEdge(hiRef, lo)
+		} else if sRef, ok := a.lenCallAtom(x.High); ok {
+			// b := s[:len(t)] pins len(t) ≤ len(b): indexes below len(t)
+			// prove against b (the bounds-establishing reslice idiom).
+			addEdge(sRef.lenOf(), lo)
+		}
+	}
+}
+
+// lenCallAtom matches a builtin len(s) call over a trackable atom.
+func (a *rngAnal) lenCallAtom(e ast.Expr) (symRef, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return symRef{}, false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return symRef{}, false
+	}
+	if _, isB := a.info.Uses[id].(*types.Builtin); !isB {
+		return symRef{}, false
+	}
+	return a.atomOf(call.Args[0])
+}
+
+// atomPlusConst decomposes e as atom+c (or atom−c / plain atom), returning
+// the atom and c.
+func (a *rngAnal) atomPlusConst(env absEnv, e ast.Expr) (symRef, int64, bool) {
+	e = unparen(e)
+	if ref, ok := a.atomOf(e); ok {
+		return ref, 0, true
+	}
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+		return symRef{}, 0, false
+	}
+	x := a.evalExpr(env, be.X)
+	y := a.evalExpr(env, be.Y)
+	if ref, ok := a.atomOf(be.X); ok && !y.iv.loUnb && !y.iv.hiUnb && y.iv.lo == y.iv.hi {
+		c := y.iv.lo
+		if be.Op == token.SUB {
+			c = -c
+		}
+		return ref, c, true
+	}
+	if ref, ok := a.atomOf(be.Y); ok && be.Op == token.ADD && !x.iv.loUnb && !x.iv.hiUnb && x.iv.lo == x.iv.hi {
+		return ref, x.iv.lo, true
+	}
+	return symRef{}, 0, false
+}
+
+// arrayLen returns the constant length when t is an array (or pointer to
+// array).
+func arrayLen(t types.Type) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	if pt, ok := t.Underlying().(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	if at, ok := t.Underlying().(*types.Array); ok {
+		return at.Len(), true
+	}
+	return 0, false
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// lookup returns env[ref], falling back to the type interval of e (or of the
+// atom's declared type when e is nil). A miss on a non-length atom means the
+// value was never locally computed — a parameter, a field never assigned in
+// this body, or an atom clobbered by an opaque call — so the fallback is
+// opaque: Go's definite-assignment rule guarantees locally derived values
+// always have an entry.
+func (a *rngAnal) lookup(env absEnv, ref symRef, e ast.Expr) rng {
+	if r, ok := env[ref]; ok {
+		return r
+	}
+	if ref.isLen {
+		return rng{iv: ival{lo: 0, hiUnb: true, lb: true}}
+	}
+	var iv ival
+	if e != nil {
+		iv = typeIval(a.info.TypeOf(e))
+	} else {
+		iv = typeIval(ref.v.Type())
+	}
+	iv.opq = true
+	return rng{iv: iv}
+}
+
+// evalExpr computes the abstract value of an integer expression.
+func (a *rngAnal) evalExpr(env absEnv, e ast.Expr) rng {
+	e = unparen(e)
+	// Constants first: go/types has already folded them.
+	if tv, ok := a.info.Types[e]; ok && tv.Value != nil {
+		if v, ok := constInt64(tv); ok {
+			return rng{iv: constIval(v)}
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if ref, ok := a.atomOf(x.(ast.Expr)); ok {
+			r := a.lookup(env, ref, x.(ast.Expr))
+			out := r.clone()
+			if out.ub == nil {
+				out.ub = make(map[symRef]int64)
+			}
+			out.ub[ref] = 0 // value ≤ itself: lets proofs chain through the atom
+			return out
+		}
+		// Untracked (address-taken or closure-written) variables are as
+		// data-dependent as memory loads: opaque, not merely unbounded.
+		iv := typeIval(a.info.TypeOf(e))
+		iv.opq = true
+		return rng{iv: iv}
+	case *ast.BinaryExpr:
+		return a.evalBinary(env, x)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.SUB:
+			return rng{iv: negIval(a.evalExpr(env, x.X).iv)}
+		case token.ADD:
+			return a.evalExpr(env, x.X)
+		case token.XOR: // ^x
+			v := a.evalExpr(env, x.X)
+			iv := typeIval(a.info.TypeOf(e))
+			iv.opq = v.iv.opq
+			return rng{iv: iv}
+		case token.ARROW: // channel receive: data-dependent
+			iv := typeIval(a.info.TypeOf(e))
+			iv.opq = true
+			return rng{iv: iv}
+		}
+	case *ast.CallExpr:
+		return a.evalCall(env, x)
+	case *ast.IndexExpr:
+		// A load: value bounded only by its type, and data-dependent.
+		iv := typeIval(a.info.TypeOf(e))
+		iv.opq = true
+		return rng{iv: iv}
+	case *ast.TypeAssertExpr, *ast.StarExpr:
+		iv := typeIval(a.info.TypeOf(e))
+		iv.opq = true
+		return rng{iv: iv}
+	}
+	return rng{iv: typeIval(a.info.TypeOf(e))}
+}
+
+func constInt64(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	if n, exact := constant.Int64Val(v); exact {
+		return n, true
+	}
+	return 0, false
+}
+
+func (a *rngAnal) evalBinary(env absEnv, x *ast.BinaryExpr) rng {
+	l := a.evalExpr(env, x.X)
+	r := a.evalExpr(env, x.Y)
+	constOf := func(v rng) (int64, bool) {
+		if !v.iv.loUnb && !v.iv.hiUnb && v.iv.lo == v.iv.hi {
+			return v.iv.lo, true
+		}
+		return 0, false
+	}
+	var out rng
+	switch x.Op {
+	case token.ADD:
+		out = rng{iv: addIval(l.iv, r.iv)}
+		if c, ok := constOf(r); ok {
+			out.ub = l.shiftUB(c)
+			out.iv.lb = l.iv.lb && c <= 0
+		} else if c, ok := constOf(l); ok {
+			out.ub = r.shiftUB(c)
+			out.iv.lb = r.iv.lb && c <= 0
+		}
+	case token.SUB:
+		out = rng{iv: subIval(l.iv, r.iv)}
+		if c, ok := constOf(r); ok {
+			out.ub = l.shiftUB(-c)
+			out.iv.lb = l.iv.lb && c >= 0 // value − nonneg stays len-bounded
+		}
+	case token.MUL:
+		out = rng{iv: mulIval(l.iv, r.iv)}
+	case token.QUO:
+		out = rng{iv: quoIval(l.iv, r.iv)}
+		out.iv.lb = l.iv.lb && !r.iv.loUnb && r.iv.lo >= 1 && !l.iv.loUnb && l.iv.lo >= 0
+	case token.REM:
+		out = rng{iv: remIval(l.iv, r.iv)}
+		out.iv.lb = r.iv.lb && !l.iv.loUnb && l.iv.lo >= 0
+	case token.SHL:
+		out = rng{iv: shlIval(l.iv, r.iv)}
+	case token.SHR:
+		out = rng{iv: shrIval(l.iv, r.iv)}
+		out.iv.lb = l.iv.lb && !l.iv.loUnb && l.iv.lo >= 0
+		if c, ok := constOf(r); ok && c == 0 {
+			out.ub = l.shiftUB(0)
+		}
+	case token.AND:
+		out = rng{iv: andIval(l.iv, r.iv)}
+	case token.OR, token.XOR:
+		out = rng{iv: orXorIval(l.iv, r.iv)}
+	case token.AND_NOT:
+		iv := typeIval(a.info.TypeOf(x))
+		iv.opq = l.iv.opq || r.iv.opq
+		if !l.iv.loUnb && l.iv.lo >= 0 {
+			// x &^ y ≤ x for nonnegative x.
+			iv = ival{lo: 0, hi: l.iv.hi, hiUnb: l.iv.hiUnb, opq: iv.opq}
+			out = rng{iv: iv, ub: l.shiftUB(0)}
+			break
+		}
+		out = rng{iv: iv}
+	default:
+		return rng{iv: typeIval(a.info.TypeOf(x))}
+	}
+	out.iv = meetIval(out.iv, typeIval(a.info.TypeOf(x)))
+	return out
+}
+
+// evalCall models len/cap, min/max, integer conversions, and statically
+// resolved calls through the interprocedural return-range summary.
+func (a *rngAnal) evalCall(env absEnv, call *ast.CallExpr) rng {
+	// Conversion T(x).
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		src := a.evalExpr(env, call.Args[0])
+		if !isIntType(tv.Type) {
+			iv := typeIval(tv.Type)
+			iv.opq = src.iv.opq
+			return rng{iv: iv}
+		}
+		if _, isFloat := floatSource(a.info.TypeOf(call.Args[0])); isFloat {
+			// float→int: anything can come out.
+			iv := typeIval(tv.Type)
+			iv.opq = src.iv.opq
+			return rng{iv: iv}
+		}
+		if fitsType(src.iv, tv.Type) {
+			return src // value-preserving: keep interval and edges
+		}
+		// Len-bounded trade-off: a nonnegative value bounded by a slice
+		// length fits any 32-bit-or-wider target (mesh ids are int32 by
+		// construction), so the conversion preserves it — this keeps loop
+		// bounds like int32(n) with n := len(s) analyzable.
+		if src.iv.lb && !src.iv.loUnb && src.iv.lo >= 0 {
+			if ti := typeIval(tv.Type); !ti.hiUnb && ti.hi >= 1<<31-1 || ti.hiUnb {
+				out := src.clone()
+				out.iv = meetIval(out.iv, ti)
+				return out
+			}
+		}
+		iv := typeIval(tv.Type)
+		iv.opq = src.iv.opq
+		return rng{iv: iv} // may wrap: only the target range survives
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := a.info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "len", "cap":
+				if len(call.Args) == 1 {
+					if al, ok := arrayLen(a.info.TypeOf(call.Args[0])); ok {
+						return rng{iv: constIval(al)}
+					}
+					if ref, ok := a.atomOf(call.Args[0]); ok && id.Name == "len" {
+						lr := a.lookup(env, ref.lenOf(), nil)
+						out := lr.clone()
+						if out.ub == nil {
+							out.ub = make(map[symRef]int64)
+						}
+						out.ub[ref.lenOf()] = 0
+						out.iv = meetIval(out.iv, ival{lo: 0, hiUnb: true, lb: true})
+						return out
+					}
+				}
+				return rng{iv: ival{lo: 0, hiUnb: true, lb: true}}
+			case "min":
+				out := a.evalExpr(env, call.Args[0])
+				for _, arg := range call.Args[1:] {
+					v := a.evalExpr(env, arg)
+					out = rng{iv: minIval(out.iv, v.iv), ub: unionUB(out.ub, v.ub)}
+				}
+				return out
+			case "max":
+				out := a.evalExpr(env, call.Args[0])
+				for _, arg := range call.Args[1:] {
+					v := a.evalExpr(env, arg)
+					out = rng{iv: maxIvalOf(out.iv, v.iv)}
+				}
+				return out
+			}
+			iv := typeIval(a.info.TypeOf(call))
+			iv.opq = true
+			return rng{iv: iv}
+		}
+	}
+	if fn := calleeOf(a.info, call); fn != nil && a.prog != nil {
+		return rng{iv: a.prog.returnRange(fn)}
+	}
+	iv := typeIval(a.info.TypeOf(call))
+	iv.opq = true
+	return rng{iv: iv}
+}
+
+// minIval: interval of min(a, b) — both upper bounds apply.
+func minIval(a, b ival) ival {
+	out := ival{opq: a.opq || b.opq}
+	out.loUnb = a.loUnb || b.loUnb
+	if !out.loUnb {
+		out.lo = min64(a.lo, b.lo)
+	}
+	switch {
+	case a.hiUnb && b.hiUnb:
+		out.hiUnb = true
+	case a.hiUnb:
+		out.hi = b.hi
+	case b.hiUnb:
+		out.hi = a.hi
+	default:
+		out.hi = min64(a.hi, b.hi)
+	}
+	return out
+}
+
+// maxIvalOf: interval of max(a, b).
+func maxIvalOf(a, b ival) ival {
+	out := ival{opq: a.opq || b.opq}
+	out.hiUnb = a.hiUnb || b.hiUnb
+	if !out.hiUnb {
+		out.hi = max64(a.hi, b.hi)
+	}
+	switch {
+	case a.loUnb && b.loUnb:
+		out.loUnb = true
+	case a.loUnb:
+		out.lo = b.lo
+	case b.loUnb:
+		out.lo = a.lo
+	default:
+		out.lo = max64(a.lo, b.lo)
+	}
+	return out
+}
+
+// unionUB merges edge sets keeping the tighter bound (for min()).
+func unionUB(a, b map[symRef]int64) map[symRef]int64 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[symRef]int64, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if old, ok := out[k]; !ok || v < old {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// floatSource reports whether t is a floating type.
+func floatSource(t types.Type) (types.Type, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+		return t, true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Branch-condition narrowing
+
+// edgeEnv narrows env along the edge blk→blk.Succs[si] using the branch or
+// loop condition that guards it.
+func (a *rngAnal) edgeEnv(blk *Block, si int, env absEnv) absEnv {
+	switch t := blk.Term.(type) {
+	case *ast.IfStmt:
+		a.applyCond(env, t.Cond, si == 0)
+	case *ast.ForStmt:
+		if blk.Loop != nil && blk.Loop.Head == blk && t.Cond != nil {
+			a.applyCond(env, t.Cond, si == 0)
+		}
+	case *ast.RangeStmt:
+		if blk.Loop != nil && blk.Loop.Head == blk && si == 0 {
+			a.bindRangeVars(env, t)
+		}
+	}
+	return env
+}
+
+// bindRangeVars gives `for i := range s` its loop-variable facts on the body
+// edge: i ∈ [0, len(s)−1]; the element variable is a load (opaque).
+func (a *rngAnal) bindRangeVars(env absEnv, t *ast.RangeStmt) {
+	overT := a.info.TypeOf(t.X)
+	if t.Key != nil {
+		if ref, ok := a.atomOf(t.Key); ok {
+			killAtom(env, ref)
+			switch overT.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+				nr := rng{iv: ival{lo: 0, hiUnb: true}}
+				if al, isArr := arrayLen(overT); isArr {
+					nr.iv = ival{lo: 0, hi: al - 1}
+				} else if base, ok := a.atomOf(t.X); ok {
+					nr.ub = map[symRef]int64{base.lenOf(): -1}
+					nr.iv.lb = true
+					lr := a.lookup(env, base.lenOf(), nil)
+					if !lr.iv.hiUnb {
+						nr.iv.hiUnb, nr.iv.hi = false, lr.iv.hi-1
+					}
+				} else if _, isSlice := overT.Underlying().(*types.Slice); isSlice {
+					// The base is not trackable (captured, or a compound
+					// expression), but a range key is still < the length of an
+					// in-memory slice — the lb trade-off holds regardless.
+					nr.iv.lb = true
+				}
+				env[ref] = nr
+			default:
+				// map/chan keys: data-dependent.
+				iv := typeIval(ref.v.Type())
+				iv.opq = true
+				env[ref] = rng{iv: iv}
+			}
+		}
+	}
+	if t.Value != nil {
+		if ref, ok := a.atomOf(t.Value); ok {
+			killAtom(env, ref)
+			iv := typeIval(ref.v.Type())
+			iv.opq = true
+			env[ref] = rng{iv: iv}
+		}
+	}
+}
+
+// applyCond narrows env assuming cond evaluates to truth.
+func (a *rngAnal) applyCond(env absEnv, cond ast.Expr, truth bool) {
+	cond = unparen(cond)
+	switch x := cond.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			a.applyCond(env, x.X, !truth)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			if truth {
+				a.applyCond(env, x.X, true)
+				a.applyCond(env, x.Y, true)
+			}
+		case token.LOR:
+			if !truth {
+				a.applyCond(env, x.X, false)
+				a.applyCond(env, x.Y, false)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := x.Op
+			if !truth {
+				op = negateCmp(op)
+			}
+			a.applyCmp(env, x.X, x.Y, op)
+		}
+	}
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+// applyCmp narrows both sides of `lhs op rhs`.
+func (a *rngAnal) applyCmp(env absEnv, lhs, rhs ast.Expr, op token.Token) {
+	switch op {
+	case token.LSS: // lhs ≤ rhs − 1, rhs ≥ lhs + 1
+		a.narrowUpper(env, lhs, rhs, -1)
+		a.narrowLower(env, rhs, lhs, 1)
+	case token.LEQ:
+		a.narrowUpper(env, lhs, rhs, 0)
+		a.narrowLower(env, rhs, lhs, 0)
+	case token.GTR:
+		a.narrowUpper(env, rhs, lhs, -1)
+		a.narrowLower(env, lhs, rhs, 1)
+	case token.GEQ:
+		a.narrowUpper(env, rhs, lhs, 0)
+		a.narrowLower(env, lhs, rhs, 0)
+	case token.EQL:
+		a.narrowUpper(env, lhs, rhs, 0)
+		a.narrowUpper(env, rhs, lhs, 0)
+		a.narrowLower(env, lhs, rhs, 0)
+		a.narrowLower(env, rhs, lhs, 0)
+	}
+}
+
+// narrowUpper records  e ≤ bound + k  when e decomposes to atom±c.
+func (a *rngAnal) narrowUpper(env absEnv, e, bound ast.Expr, k int64) {
+	ref, off, ok := a.atomPlusConst(env, e)
+	if !ok {
+		return
+	}
+	// ref + off ≤ bound + k  →  ref ≤ bound + (k − off).
+	k -= off
+	b := a.evalExpr(env, bound)
+	cur := a.lookup(env, ref, nil)
+	nr := cur.clone()
+	if !b.iv.hiUnb {
+		if hi, unb := addSat(b.iv.hi, k); !unb && (nr.iv.hiUnb || hi < nr.iv.hi) {
+			nr.iv.hiUnb, nr.iv.hi = false, hi
+		}
+	}
+	// Symbolic edges: inherit the bound expression's own edges, displaced.
+	for tgt, bk := range b.ub {
+		if tgt.v == ref.v && tgt.path == ref.path && tgt.isLen == ref.isLen {
+			continue // no self edges
+		}
+		if nk, unb := addSat(bk, k); !unb {
+			if nr.ub == nil {
+				nr.ub = make(map[symRef]int64)
+			}
+			if old, ok := nr.ub[tgt]; !ok || nk < old {
+				nr.ub[tgt] = nk
+			}
+		}
+	}
+	if b.iv.lb && k <= 0 {
+		nr.iv.lb = true // below a len-bounded bound: len-bounded too
+	}
+	nr.iv = meetIval(nr.iv, typeIval(ref.v.Type()))
+	env[ref] = nr
+}
+
+// narrowLower records  e ≥ bound + k  (numeric only; lower bounds chain far
+// less in practice).
+func (a *rngAnal) narrowLower(env absEnv, e, bound ast.Expr, k int64) {
+	ref, off, ok := a.atomPlusConst(env, e)
+	if !ok {
+		// Special case: len(s) ≥ bound+k gives the slice a length fact.
+		if call, isCall := unparen(e).(*ast.CallExpr); isCall {
+			if id, isID := unparen(call.Fun).(*ast.Ident); isID && id.Name == "len" && len(call.Args) == 1 {
+				if _, isB := a.info.Uses[id].(*types.Builtin); isB {
+					if base, okB := a.atomOf(call.Args[0]); okB {
+						ref, off, ok = base.lenOf(), 0, true
+					}
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	k -= off
+	b := a.evalExpr(env, bound)
+	if b.iv.loUnb {
+		return
+	}
+	lo, unb := addSat(b.iv.lo, k)
+	if unb {
+		return
+	}
+	cur := a.lookup(env, ref, nil)
+	nr := cur.clone()
+	if nr.iv.loUnb || lo > nr.iv.lo {
+		nr.iv.loUnb, nr.iv.lo = false, lo
+	}
+	if !ref.isLen {
+		nr.iv = meetIval(nr.iv, typeIval(ref.v.Type()))
+	}
+	env[ref] = nr
+}
+
+// narrowUpper needs the same len() decomposition for `len(s) <= x` forms.
+// (Handled in atomPlusConst? len() is not an atom — extend here.)
+
+// ---------------------------------------------------------------------------
+// Bounds proving
+
+// proveNonNegative reports whether r is provably ≥ 0.
+func proveNonNegative(r rng) bool { return !r.iv.loUnb && r.iv.lo >= 0 }
+
+// proveBelowLen reports whether r is provably ≤ len(target) − 1 (or ≤ L−1 for
+// arrays), searching up to depth 4 through symbolic upper-bound edges.
+func proveBelowLen(env absEnv, r rng, target symRef, arrLen int64, isArr bool) bool {
+	if isArr && !r.iv.hiUnb && r.iv.hi <= arrLen-1 {
+		return true
+	}
+	if !isArr {
+		// Numeric route: a known lower bound on len(target).
+		if lt, ok := env[target.lenOf()]; ok && !r.iv.hiUnb && !lt.iv.loUnb && r.iv.hi <= lt.iv.lo-1 {
+			return true
+		}
+	}
+	// Edge route: BFS through value ≤ ref + k chains.
+	type node struct {
+		ref symRef
+		k   int64
+	}
+	var queue []node
+	for ref, k := range r.ub {
+		queue = append(queue, node{ref, k})
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].k < queue[j].k })
+	seen := make(map[symRef]int64)
+	depth := 0
+	for len(queue) > 0 && depth < 4 {
+		var next []node
+		for _, nd := range queue {
+			if old, ok := seen[nd.ref]; ok && old <= nd.k {
+				continue
+			}
+			seen[nd.ref] = nd.k
+			if !isArr && nd.ref == target.lenOf() && nd.k <= -1 {
+				return true
+			}
+			if isArr {
+				// value ≤ ref + k with ref numerically bounded.
+				if rr, ok := env[nd.ref]; ok && !rr.iv.hiUnb {
+					if hi, unb := addSat(rr.iv.hi, nd.k); !unb && hi <= arrLen-1 {
+						return true
+					}
+				}
+			} else if rr, ok := env[nd.ref]; ok {
+				// Numeric route through the intermediate atom.
+				if lt, ok2 := env[target.lenOf()]; ok2 && !rr.iv.hiUnb && !lt.iv.loUnb {
+					if hi, unb := addSat(rr.iv.hi, nd.k); !unb && hi <= lt.iv.lo-1 {
+						return true
+					}
+				}
+			}
+			if rr, ok := env[nd.ref]; ok {
+				for ref2, k2 := range rr.ub {
+					if sum, unb := addSat(nd.k, k2); !unb {
+						next = append(next, node{ref2, sum})
+					}
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].k != next[j].k {
+				return next[i].k < next[j].k
+			}
+			return next[i].ref.String() < next[j].ref.String()
+		})
+		queue = next
+		depth++
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural return-range summaries
+
+// returnRange is the memoized interval of fn's single integer result,
+// context-insensitive (parameters unknown). Recursion and unresolved callees
+// fall back to the result type's interval, marked opaque so consumers treat
+// it as data-dependent.
+func (prog *Program) returnRange(fn *types.Func) ival {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isIntType(sig.Results().At(0).Type()) {
+		return topIval()
+	}
+	resT := sig.Results().At(0).Type()
+	opaque := func() ival {
+		iv := typeIval(resT)
+		iv.opq = true
+		return iv
+	}
+	if prog.rangeMemo == nil {
+		prog.rangeMemo = make(map[*types.Func]ival)
+		prog.rangeOn = make(map[*types.Func]bool)
+	}
+	if iv, ok := prog.rangeMemo[fn]; ok {
+		return iv
+	}
+	n := prog.nodes[fn]
+	if n == nil || n.Decl == nil || n.Decl.Body == nil {
+		return opaque()
+	}
+	if prog.rangeOn[fn] {
+		return opaque() // recursion: no fixpoint across functions
+	}
+	prog.rangeOn[fn] = true
+	a := &rngAnal{info: n.Pkg.Info, prog: prog}
+	a.analyzeBody(n.Decl.Body, nil)
+	delete(prog.rangeOn, fn)
+	iv := opaque()
+	if a.hasRet {
+		iv = meetIval(a.retIval, typeIval(resT))
+	}
+	prog.rangeMemo[fn] = iv
+	return iv
+}
+
+// widenNote renders the "what widened this" suffix for an index diagnostic:
+// the atoms of e that lost precision at a loop head, with the loop position.
+func (a *rngAnal) widenNote(fset *token.FileSet, e ast.Expr) string {
+	if len(a.widenedAt) == 0 {
+		return ""
+	}
+	var parts []string
+	seen := make(map[symRef]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		ref, ok := a.atomOf(ex)
+		if !ok || seen[ref] {
+			return true
+		}
+		seen[ref] = true
+		if pos, ok := a.widenedAt[ref]; ok {
+			p := fset.Position(pos)
+			parts = append(parts, fmt.Sprintf("%s widened at loop %s:%d", ref, relBase(p.Filename), p.Line))
+		}
+		return true
+	})
+	if len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	return "; " + strings.Join(parts, ", ")
+}

@@ -1,0 +1,135 @@
+// Package bce is a paredlint fixture for the bce check: affine slice/array
+// indexes in //pared:hotpath functions must be provably in-bounds so the
+// compiler's bounds-check elimination fires. Positives cover the unrelated
+// length, the off-by-one against a hoisted bound, the widened accumulator
+// index, and the obligation propagating into an unannotated callee; negatives
+// cover every accepted proof idiom (hoisted len, reslice, make(n+1)
+// prefix-sum, array masking, the `_ = s[hi]` hint, range loops) plus the
+// data-dependent skips and the allow escape hatch.
+package bce
+
+// unrelatedLen indexes one slice with another's loop bound.
+//
+//pared:hotpath
+func unrelatedLen(a, b []int) int {
+	t := 0
+	for i := 0; i < len(a); i++ {
+		t += b[i] // want "bounds check on b\[i\] stays"
+	}
+	return t
+}
+
+// offByOne walks to the hoisted length inclusive.
+//
+//pared:hotpath
+func offByOne(s []int) int {
+	n := len(s)
+	t := 0
+	for i := 0; i < n; i++ {
+		t += s[i+1] // want "bounds check on s\[i \+ 1\] stays"
+	}
+	return t
+}
+
+// strided reads one stride past the proven window: i <= len(s)-2 inside the
+// loop, so s[i] proves but s[i+2] reaches len(s).
+//
+//pared:hotpath
+func strided(s []int) int {
+	t := 0
+	for i := 0; i < len(s)-1; i += 2 {
+		t += s[i] + s[i+2] // want "bounds check on s\[i \+ 2\] stays.*widened at loop"
+	}
+	return t
+}
+
+// gather indexes through two unannotated calls; the obligation follows the
+// call graph and reports at the hotpath call site with the witnessing path.
+//
+//pared:hotpath
+func gather(dst, src []int) {
+	relay(dst, src) // want "calls bce\.relay with an unprovable index"
+}
+
+func relay(dst, src []int) {
+	leaf(dst, src)
+}
+
+func leaf(dst, src []int) {
+	for i := 0; i < len(src); i++ {
+		dst[i] = src[i]
+	}
+}
+
+// hoistedLen is the canonical provable loop: i < n with n := len(s).
+//
+//pared:hotpath
+func hoistedLen(s []int) int {
+	n := len(s)
+	t := 0
+	for i := 0; i < n; i++ {
+		t += s[i]
+	}
+	return t
+}
+
+// resliced pins two lengths together, so one loop bound proves both.
+//
+//pared:hotpath
+func resliced(a, b []float64) float64 {
+	b = b[:len(a)]
+	t := 0.0
+	for i := range a {
+		t += a[i] * b[i]
+	}
+	return t
+}
+
+// prefixSum fills a make(n+1) array through index n.
+//
+//pared:hotpath
+func prefixSum(counts []int32, n int) []int32 {
+	counts = counts[:n]
+	start := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + counts[i]
+	}
+	return start
+}
+
+// masked proves an array index by masking.
+//
+//pared:hotpath
+func masked(hist *[256]int32, keys []uint64) {
+	for _, k := range keys {
+		hist[k&0xff]++
+	}
+}
+
+// hinted uses the bounds-establishing load so later indexes prove.
+//
+//pared:hotpath
+func hinted(s []int, hi int) int {
+	_ = s[hi]
+	return s[hi-1] + s[hi]
+}
+
+// dataDependent indexes through values loaded from memory: the check is
+// inherent (no local rewrite can elide it), so the analysis stays silent.
+//
+//pared:hotpath
+func dataDependent(x []float64, cols []int32) float64 {
+	t := 0.0
+	for _, c := range cols {
+		t += x[c]
+	}
+	return t
+}
+
+// allowed suppresses a genuinely invariant-but-dynamic index with a reason.
+//
+//pared:hotpath
+func allowed(q []int) int {
+	//paredlint:allow bce -- heap invariant: callers guarantee q non-empty
+	return q[0]
+}

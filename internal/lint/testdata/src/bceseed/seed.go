@@ -1,0 +1,27 @@
+// Package bceseed plants the bce seeded bug: a bounds check reintroduced two
+// calls below a hotpath function. scatterOwned was "optimized" by extracting
+// its inner loop through pack into fill, and the extraction swapped the loop
+// bound from the written slice to the id list — exactly the regression shape
+// the transitive obligation exists to catch. The acceptance test asserts the
+// finding lands on the hotpath call site and carries the full witness path
+// scatterOwned -> pack -> fill.
+package bceseed
+
+// scatterOwned writes owned element values into the global vector.
+//
+//pared:hotpath
+func scatterOwned(dst []float64, ids []int32, vals []float64) {
+	pack(dst, ids, vals)
+}
+
+func pack(dst []float64, ids []int32, vals []float64) {
+	fill(dst, ids, vals)
+}
+
+func fill(dst []float64, ids []int32, vals []float64) {
+	// Seeded bug: the loop runs over ids but reads vals[i]; nothing relates
+	// the two lengths, so the vals read keeps its bounds check.
+	for i := 0; i < len(ids); i++ {
+		dst[ids[i]] = vals[i]
+	}
+}

@@ -1,0 +1,77 @@
+// Package bcexval is the bce cross-validation fixture: every index carrying
+// a BOUND marker comment must be flagged by the bce check AND draw a Found
+// IsInBounds report from `go build -gcflags=-d=ssa/check_bce`; every index
+// carrying an ELIDED marker comment must draw neither. (Markers are written
+// with a leading comment slash on their lines only, so this doc text stays
+// invisible to the matcher.) The fixture is restricted to idioms where the
+// interval analysis and the compiler's prove pass agree by construction —
+// divergent idioms (make(n+1) prefix sums, bounds-hint loads) are covered by
+// the golden fixture and documented in DESIGN.md §12.
+package bcexval
+
+// hoisted is the canonical elidable loop.
+//
+//pared:hotpath
+func hoisted(s []int) int {
+	t := 0
+	n := len(s)
+	for i := 0; i < n; i++ {
+		t += s[i] // ELIDED
+	}
+	return t
+}
+
+// resliced pins len(b) to len(a), so one range bound proves both reads.
+//
+//pared:hotpath
+func resliced(a, b []float64) float64 {
+	b = b[:len(a)]
+	t := 0.0
+	for i := range a {
+		t += a[i] // ELIDED
+		t += b[i] // ELIDED
+	}
+	return t
+}
+
+// masked keeps the array index inside the table by construction.
+//
+//pared:hotpath
+func masked(h *[256]int32, keys []uint64) {
+	for _, k := range keys {
+		h[k&0xff]++ // ELIDED
+	}
+}
+
+// unrelated walks b with a's loop bound: the check stays.
+//
+//pared:hotpath
+func unrelated(a, b []int) int {
+	t := 0
+	for i := 0; i < len(a); i++ {
+		t += b[i] // BOUND
+	}
+	return t
+}
+
+// offByOne can reach exactly len(s): the check stays.
+//
+//pared:hotpath
+func offByOne(s []int) int {
+	t := 0
+	for i := 0; i < len(s); i++ {
+		t += s[i+1] // BOUND
+	}
+	return t
+}
+
+// strided reads one stride past the proven window: the check stays.
+//
+//pared:hotpath
+func strided(s []int) int {
+	t := 0
+	for i := 0; i < len(s)-1; i += 2 {
+		t += s[i+2] // BOUND
+	}
+	return t
+}

@@ -1,0 +1,113 @@
+// Package intwidth is a paredlint fixture for the intwidth check: narrowing
+// conversions and left shifts in //pared:hotpath functions whose operand
+// interval can exceed the target width. Positives cover the unbounded
+// conversion, the widened shift accumulator, the unbounded shift count, and
+// the two narrow-verification failures (contradicted, insufficient);
+// negatives cover masking, clamping, widening conversions, the len-bounded
+// trade-off, and verified //pared:narrow annotations on a conversion and on
+// a shift. (Malformed and stale directives are covered by unit tests — their
+// diagnostics land on the directive comment itself, where a fixture want
+// comment cannot sit.)
+package intwidth
+
+// toOwner narrows an unbounded int: nothing pins n to 32 bits.
+//
+//pared:hotpath
+func toOwner(n int) int32 {
+	return int32(n) // want "narrowing conversion int32\(n\) may truncate"
+}
+
+// interleave widens the accumulator: after the loop-head join d is unbounded
+// above, so d<<2 can push significant bits off the top.
+//
+//pared:hotpath
+func interleave(bs []uint64) uint64 {
+	var d uint64
+	for _, b := range bs {
+		d = d<<2 | (b & 3) // want "shift d << 2 may overflow uint64"
+	}
+	return d
+}
+
+// unboundedCount shifts by a caller-supplied width.
+//
+//pared:hotpath
+func unboundedCount(sh uint) uint32 {
+	return uint32(1) << sh // want "shift uint32\(1\) << sh may overflow uint32"
+}
+
+// contradicted claims a bound the derived interval provably exceeds.
+//
+//pared:hotpath
+func contradicted(v int) int8 {
+	x := v&0xff + 2000
+	//pared:narrow(100)
+	return int8(x) // want "pared:narrow\(100\) contradicted on int8\(x\)"
+}
+
+// insufficient claims a bound that itself exceeds the target width.
+//
+//pared:hotpath
+func insufficient(v int) int16 {
+	//pared:narrow(50000)
+	return int16(v) // want "pared:narrow\(50000\) insufficient on int16\(v\)"
+}
+
+// masked proves the range by masking.
+//
+//pared:hotpath
+func masked(v int) int32 {
+	return int32(v & 0xff)
+}
+
+// clamped proves the range by branch narrowing on both sides.
+//
+//pared:hotpath
+func clamped(v int64) uint32 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 4294967295 {
+		v = 4294967295
+	}
+	return uint32(v)
+}
+
+// widening conversions can never truncate.
+//
+//pared:hotpath
+func widen(x int32) int64 {
+	return int64(x)
+}
+
+// ids rides the len-bounded trade-off: a range index over an in-memory slice
+// fits 32-bit targets because mesh ids are int32 by construction.
+//
+//pared:hotpath
+func ids(s []float64) []int32 {
+	out := make([]int32, 0, len(s))
+	for i := range s {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+// owner carries a verified narrow on an unprovable conversion.
+//
+//pared:hotpath
+func owner(h int) int32 {
+	//pared:narrow(1<<31 - 1)
+	return int32(h)
+}
+
+// key carries a verified result-magnitude narrow on the 3-bit interleave.
+//
+//pared:hotpath
+func key(bs []uint64) uint64 {
+	var d uint64
+	for _, b := range bs {
+		//pared:narrow(1<<63 - 1)
+		d = d<<3 | (b & 7)
+	}
+	return d
+}

@@ -1,0 +1,31 @@
+// Package intwidthnarrow is the directive-lifecycle fixture for intwidth:
+// one malformed //pared:narrow, one stale directive on a site the analysis
+// proves without it, and one stale directive covering no narrowing site at
+// all. Their diagnostics land on the directive comments themselves, so the
+// acceptance test (TestNarrowDirectiveLifecycle) matches them by line rather
+// than with fixture want comments.
+package intwidthnarrow
+
+// proved covers a conversion the analysis already proves: stale.
+//
+//pared:hotpath
+func proved(v int) int32 {
+	//pared:narrow(255)
+	return int32(v & 0xff)
+}
+
+// unused covers no narrowing conversion or shift at all: stale.
+//
+//pared:hotpath
+func unused(v int) int {
+	//pared:narrow(9)
+	return v + 1
+}
+
+// broken carries a bound that does not parse: malformed.
+//
+//pared:hotpath
+func broken(v int) int32 {
+	//pared:narrow(bogus)
+	return int32(v)
+}

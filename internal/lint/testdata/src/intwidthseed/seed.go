@@ -1,0 +1,30 @@
+// Package intwidthseed plants the intwidth seeded bug: a 32-bit overflow
+// reachable only on the 3D key path. The 2D quantizer shifts an 8-bit value
+// by 15 — provably inside uint32 — but the shared helper picks up the 3D
+// shift of 40 on one branch, and 8+40 significant bits silently truncate.
+// The acceptance test asserts the branch-sensitive site is flagged and the
+// 2D-only sibling stays clean.
+package intwidthseed
+
+const (
+	shift2D = 15
+	shift3D = 40
+)
+
+// key packs a quantized coordinate; the 3D branch overflows uint32.
+//
+//pared:hotpath
+func key(x uint32, threeD bool) uint32 {
+	sh := uint32(shift2D)
+	if threeD {
+		sh = shift3D
+	}
+	return (x & 0xff) << sh
+}
+
+// key2D is the pre-bug shape: the constant 2D shift provably fits.
+//
+//pared:hotpath
+func key2D(x uint32) uint32 {
+	return (x & 0xff) << shift2D
+}

@@ -3,6 +3,7 @@ package par
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -301,4 +302,131 @@ func BenchmarkGatherTyped(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestTypedZeroLengthVectors drives the slice-carrying collectives with
+// zero-length payloads: empty and nil slices are legitimate messages (a rank
+// can own no elements after a migration), so they must round-trip without
+// being confused with "no message" and without disturbing the sequence
+// counter for the rounds that follow.
+func TestTypedZeroLengthVectors(t *testing.T) {
+	const p = 3
+	err := Run(p, func(c *Comm) {
+		// Rank 1 contributes an empty-but-allocated slice, the rest nil.
+		var xs []int32
+		if c.Rank() == 1 {
+			xs = make([]int32, 0)
+		}
+		out := c.AllGatherInt32(xs)
+		if len(out) != p {
+			panic(fmt.Sprintf("allgather returned %d sources", len(out)))
+		}
+		for r, s := range out {
+			if len(s) != 0 {
+				panic(fmt.Sprintf("source %d delivered %d elements, want 0", r, len(s)))
+			}
+		}
+		out64 := c.AllGatherInt64(nil)
+		for r, s := range out64 {
+			if len(s) != 0 {
+				panic(fmt.Sprintf("int64 source %d delivered %d elements", r, len(s)))
+			}
+		}
+		if got := c.GatherInt32(0, nil); c.Rank() == 0 {
+			for r, s := range got {
+				if len(s) != 0 {
+					panic(fmt.Sprintf("gather source %d delivered %d elements", r, len(s)))
+				}
+			}
+		}
+		if got := c.BcastInt32(0, []int32{}); len(got) != 0 {
+			panic(fmt.Sprintf("bcast of empty slice delivered %d elements", len(got)))
+		}
+		// The counter must still line up: a normal round after the empty ones.
+		if v := c.AllReduceSumInt64(1); v != p {
+			panic(fmt.Sprintf("follow-up sum = %d, want %d", v, p))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedSingleRank pins the p=1 degenerate case for every typed
+// collective: no partner ranks means no messages at all, so each call must
+// return its own argument (or the identity) immediately instead of waiting
+// on a receive that can never arrive.
+func TestTypedSingleRank(t *testing.T) {
+	err := Run(1, func(c *Comm) {
+		if got := c.ExclusiveScanInt64(99); got != 0 {
+			panic(fmt.Sprintf("exscan = %d, want 0", got))
+		}
+		if got := c.AllReduceSumInt64(41); got != 41 {
+			panic(fmt.Sprintf("sum = %d, want 41", got))
+		}
+		if mx, sum := c.AllReduceMaxSum(-7); mx != -7 || sum != -7 {
+			panic(fmt.Sprintf("maxsum = (%d, %d), want (-7, -7)", mx, sum))
+		}
+		xs := []int32{3, 1, 4}
+		if out := c.AllGatherInt32(xs); len(out) != 1 || &out[0][0] != &xs[0] {
+			panic("single-rank allgather must alias the local slice")
+		}
+		ys := []int64{1 << 40}
+		if out := c.AllGatherInt64(ys); len(out) != 1 || out[0][0] != 1<<40 {
+			panic("single-rank int64 allgather mismatch")
+		}
+		if out := c.GatherInt32(0, xs); len(out) != 1 || &out[0][0] != &xs[0] {
+			panic("single-rank gather must alias the local slice")
+		}
+		if got := c.BcastInt32(0, xs); &got[0] != &xs[0] {
+			panic("single-rank bcast must return the argument")
+		}
+		if recv := c.AlltoallBytes([][]byte{[]byte("self")}); string(recv[0]) != "self" {
+			panic("single-rank alltoall mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallBytesLengthMismatchPanics pins the length contract: send must
+// have exactly one buffer per rank, and a wrong-length send panics before any
+// message leaves the rank (so the failure is a loud error from Run, not a
+// cross-rank deadlock). Every rank passes the bad slice, so all of them
+// panic symmetrically and Run collects the errors.
+func TestAlltoallBytesLengthMismatchPanics(t *testing.T) {
+	const p = 3
+	err := Run(p, func(c *Comm) {
+		c.AlltoallBytes(make([][]byte, p-1))
+	})
+	if err == nil {
+		t.Fatal("AlltoallBytes accepted a send slice with the wrong length")
+	}
+	if !strings.Contains(err.Error(), "one buffer per rank") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestAlltoallBytesNilEntries pins the documented nil passthrough: a nil
+// buffer for a peer is delivered as nil, distinguishable from an empty one.
+func TestAlltoallBytesNilEntries(t *testing.T) {
+	const p = 2
+	err := Run(p, func(c *Comm) {
+		send := make([][]byte, p)
+		send[c.Rank()] = []byte{byte(c.Rank())}
+		recv := c.AlltoallBytes(send) // peer entry stays nil
+		for src, buf := range recv {
+			if src == c.Rank() {
+				if len(buf) != 1 || buf[0] != byte(c.Rank()) {
+					panic("self entry clobbered")
+				}
+			} else if buf != nil {
+				panic(fmt.Sprintf("nil buffer from %d arrived non-nil (%v)", src, buf))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

@@ -56,9 +56,11 @@ const (
 
 // Morton2D interleaves the low `bits` bits of x and y (y in the odd
 // positions) into a Z-order index.
+//pared:hotpath
 func Morton2D(x, y uint32, bits uint) uint64 {
 	var d uint64
 	for b := int(bits) - 1; b >= 0; b-- {
+		//pared:narrow(1<<62 - 1)
 		d = d<<2 | uint64(y>>uint(b)&1)<<1 | uint64(x>>uint(b)&1)
 	}
 	return d
@@ -66,9 +68,11 @@ func Morton2D(x, y uint32, bits uint) uint64 {
 
 // Morton3D interleaves the low `bits` bits of x, y and z (z highest) into a
 // 3D Z-order index.
+//pared:hotpath
 func Morton3D(x, y, z uint32, bits uint) uint64 {
 	var d uint64
 	for b := int(bits) - 1; b >= 0; b-- {
+		//pared:narrow(1<<63 - 1)
 		d = d<<3 | uint64(z>>uint(b)&1)<<2 | uint64(y>>uint(b)&1)<<1 | uint64(x>>uint(b)&1)
 	}
 	return d
@@ -78,8 +82,10 @@ func Morton3D(x, y, z uint32, bits uint) uint64 {
 // 2^bits grid — the classic quadrant-rotation formulation: walk the bits from
 // most to least significant, accumulate the quadrant's offset, and rotate the
 // remaining coordinates into the quadrant's frame.
+//pared:hotpath
 func Hilbert2D(x, y uint32, bits uint) uint64 {
 	var d uint64
+	//pared:narrow(1<<30)
 	for s := uint32(1) << (bits - 1); s > 0; s >>= 1 {
 		var rx, ry uint32
 		if x&s != 0 {
@@ -104,10 +110,12 @@ func Hilbert2D(x, y uint32, bits uint) uint64 {
 // Hilbert3D returns the Hilbert curve index of cell (x, y, z) on the cubic
 // 2^bits grid via Skilling's transpose algorithm: convert the axes to the
 // "transposed" Hilbert form in place, then interleave the transposed bits.
+//pared:hotpath
 func Hilbert3D(x, y, z uint32, bits uint) uint64 {
 	var X [3]uint32
 	X[0], X[1], X[2] = x, y, z
 	// Inverse undo of the Gray-code excess (Skilling, AxestoTranspose).
+	//pared:narrow(1<<20)
 	for q := uint32(1) << (bits - 1); q > 1; q >>= 1 {
 		p := q - 1
 		for i := 0; i < 3; i++ {
@@ -124,6 +132,7 @@ func Hilbert3D(x, y, z uint32, bits uint) uint64 {
 	X[1] ^= X[0]
 	X[2] ^= X[1]
 	var t uint32
+	//pared:narrow(1<<20)
 	for q := uint32(1) << (bits - 1); q > 1; q >>= 1 {
 		if X[2]&q != 0 {
 			t ^= q - 1
@@ -136,6 +145,7 @@ func Hilbert3D(x, y, z uint32, bits uint) uint64 {
 	// bit plane.
 	var d uint64
 	for b := int(bits) - 1; b >= 0; b-- {
+		//pared:narrow(1<<63 - 1)
 		d = d<<3 | uint64(X[0]>>uint(b)&1)<<2 | uint64(X[1]>>uint(b)&1)<<1 | uint64(X[2]>>uint(b)&1)
 	}
 	return d
@@ -199,11 +209,14 @@ func quantScale(extent float64, bits uint) float64 {
 }
 
 // quantize maps offset o (≥ 0) at scale s into [0, 2^bits − 1].
+//pared:hotpath
 func quantize(o, s float64, bits uint) uint32 {
 	q := uint64(math.Floor(o * s))
+	//pared:narrow(1<<31)
 	if max := uint64(1)<<bits - 1; q > max {
 		q = max
 	}
+	//pared:narrow(1<<31 - 1)
 	return uint32(q)
 }
 
@@ -296,6 +309,7 @@ func bandOf(a, w, total int64, p int) int32 {
 	if j >= int64(p) {
 		j = int64(p) - 1
 	}
+	//pared:narrow(1<<31 - 1)
 	return int32(j)
 }
 
@@ -315,6 +329,7 @@ func admissible(a, w, total int64, p int) (lo, hi int32) {
 	if h > int64(p)-1 {
 		h = int64(p) - 1
 	}
+	//pared:narrow(1<<31 - 1)
 	return int32(l), int32(h)
 }
 
@@ -336,6 +351,11 @@ func admissible(a, w, total int64, p int) (lo, hi int32) {
 //
 //pared:hotpath
 func AssignLocal(elems []int32, w []int64, offset, total int64, old []int32, p int, snap bool, out []int32) {
+	// Bounds-establishing reslices: w and out run parallel to elems, so every
+	// w[i]/out[i] below is provably in-bounds (and the compiler's BCE elides
+	// the checks in the loops).
+	w = w[:len(elems)]
+	out = out[:len(elems)]
 	if total <= 0 {
 		// No weight anywhere: nothing to balance, keep every element home
 		// (or band 0 when there is no current assignment).
