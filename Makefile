@@ -55,10 +55,11 @@ bench-json:
 # Regression guard over the committed baseline: two fresh quick runs, scored
 # best-of-2, must stay within 20% of BENCH_pnr.json on the guarded
 # experiments (see cmd/benchguard). The engine runs in every rebalance mode
-# (-mode all emits engine, engine_sfc, engine_sfc_3d and engine_mlkl
-# records), and the coordinator pipeline and the coordinator-free SFC
-# pipeline (2D and 3D keys) are all guarded, so a regression in any
-# rebalance path fails CI on every PR.
+# (-mode all emits engine, engine_sfc, engine_sfc_3d, engine_mlkl and
+# engine_distrefine records), and the coordinator pipeline, the
+# coordinator-free SFC pipeline (2D and 3D keys) and the distributed
+# refinement pipeline are all guarded, so a regression in any rebalance path
+# fails CI on every PR.
 bench-guard:
 	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard1.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard2.json > /dev/null
@@ -66,7 +67,7 @@ bench-guard:
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard4.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard5.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard6.json > /dev/null
-	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc,engine_sfc_3d \
+	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc,engine_sfc_3d,engine_distrefine \
 		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json \
 		/tmp/benchguard4.json /tmp/benchguard5.json /tmp/benchguard6.json
 

@@ -1,8 +1,9 @@
 // Command pared runs the full distributed adaptive pipeline (Figure 2) on a
 // chosen problem: goroutine ranks bootstrap from a coordinator-computed
 // partition, adapt with cross-rank conformal refinement, and rebalance with
-// PNR, RSB or Multilevel-KL at the coordinator — or coordinator-free with
-// space-filling-curve bands (-algo sfc).
+// PNR, RSB or Multilevel-KL at the coordinator — coordinator-free with
+// space-filling-curve bands (-algo sfc) — or with PNR's refinement sweeps
+// rank-distributed and deterministically resolved (-algo distrefine).
 //
 // Usage:
 //
@@ -30,7 +31,7 @@ import (
 func main() {
 	p := flag.Int("p", 8, "number of ranks")
 	problem := flag.String("problem", "corner", "corner|transient")
-	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl|sfc (sfc is coordinator-free)")
+	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl|sfc|distrefine (sfc is coordinator-free, distrefine rank-splits the PNR refinement sweeps)")
 	grid := flag.Int("grid", 20, "initial mesh resolution")
 	steps := flag.Int("steps", 6, "adaptation steps")
 	tol := flag.Float64("tol", 5e-3, "refinement tolerance")
@@ -40,9 +41,14 @@ func main() {
 
 	var repart pared.Repartitioner
 	sfcMode := false
+	distRefine := false
 	switch *algo {
 	case "sfc":
 		sfcMode = true
+	case "distrefine":
+		// Leave Repartition nil: DistRefine applies to the default
+		// repartitioner only, and the engine wires its communicator in.
+		distRefine = true
 	case "pnr":
 		repart = func(g *graph.Graph, old []int32, np int) []int32 {
 			return core.Repartition(g, old, np, core.Config{})
@@ -81,7 +87,7 @@ func main() {
 	m0 := meshgen.RectTri(*grid, *grid, -1, -1, 1, 1)
 	tracePrinter := par.NewPrinter(os.Stderr)
 	err := par.Run(*p, func(c *par.Comm) {
-		cfg := pared.Config{Repartition: repart, ImbalanceTrigger: *trigger}
+		cfg := pared.Config{Repartition: repart, ImbalanceTrigger: *trigger, DistRefine: distRefine}
 		if sfcMode {
 			cfg = pared.Config{Mode: pared.ModeSFC, ImbalanceTrigger: *trigger}
 		}

@@ -71,7 +71,7 @@ func main() {
 	svg := flag.String("svg", "", "directory for SVG mesh renderings (fig1, transient)")
 	jsonOut := flag.String("json", "", "write per-experiment wall time and allocation stats to this JSON file")
 	scratch := flag.Bool("scratch", false, "run the engine experiment on the from-scratch rebalance pipeline instead of the incremental one")
-	mode := flag.String("mode", "all", "engine rebalance mode: pnr|sfc|mlkl|all (all emits one record per mode)")
+	mode := flag.String("mode", "all", "engine rebalance mode: pnr|sfc|mlkl|distrefine|all (all emits one record per mode)")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -127,8 +127,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnrbench: unknown experiment %q (want one of %s)\n", *exp, known)
 		os.Exit(2)
 	}
-	if !strings.Contains("pnr sfc mlkl all", *mode) {
-		fmt.Fprintf(os.Stderr, "pnrbench: unknown mode %q (want pnr, sfc, mlkl or all)\n", *mode)
+	if !strings.Contains("pnr sfc mlkl distrefine all", *mode) {
+		fmt.Fprintf(os.Stderr, "pnrbench: unknown mode %q (want pnr, sfc, mlkl, distrefine or all)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -166,6 +166,9 @@ func main() {
 	}
 	if *mode == "all" || *mode == "mlkl" {
 		engineRuns = append(engineRuns, engineRun{record: "engine_mlkl", emode: "mlkl"})
+	}
+	if *mode == "all" || *mode == "distrefine" {
+		engineRuns = append(engineRuns, engineRun{record: "engine_distrefine", emode: "distrefine"})
 	}
 	for _, er := range engineRuns {
 		var ph experiments.EnginePhases

@@ -34,3 +34,23 @@ func BenchmarkRunKLScan(b *testing.B) {
 		runKL(s, g, parts, old, p, cfg, false)
 	}
 }
+
+// BenchmarkDistRefineSweep pins the distributed sweep's steady state through
+// the Serial loopback exchanger: after the scratch warms, scoring, packing,
+// exchange and resolution must allocate nothing (BENCH_allocs.json pins 0).
+func BenchmarkDistRefineSweep(b *testing.B) {
+	p := 8
+	g, old := refinedScenario(24, p, 5)
+	cfg := Config{}.withDefaults()
+	cfg.DistRefine = Serial
+	parts := make([]int32, len(old))
+	s := new(klScratch)
+	copy(parts, old)
+	distRefineSweep(s, g, parts, old, p, cfg, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(parts, old)
+		distRefineSweep(s, g, parts, old, p, cfg, false)
+	}
+}

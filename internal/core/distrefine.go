@@ -1,0 +1,619 @@
+package core
+
+// Distributed deterministic refinement (Sanders & Seemaier style
+// unconstrained local search, adapted to PNR's migration-aware objective).
+//
+// The serial V-cycle refines each level with runKL: scan the whole boundary,
+// apply the single best move, rescan — O(boundary) work per move, all of it
+// on one goroutine while every other rank idles. The distributed sweep
+// replaces that with rounds of bulk moves:
+//
+//  1. Ownership blocks. Rank r of R owns the contiguous vertex block
+//     [r·⌈n/R⌉-ish, …) of the level's graph (balanced split: the first n%R
+//     blocks are one vertex longer). The graph, the partition vector and the
+//     part weights are replicated — only the scoring work is split.
+//
+//  2. Propose. Each rank scores every unlocked boundary vertex of its block
+//     with the full 3-term gain (cut + α·migration + 2β·balance; hard-balance
+//     sweeps drop the β term and enforce the (1+ε) limit instead) and
+//     proposes its best strictly-positive move, unconstrained by what other
+//     ranks propose. Within a rank the scoring runs on the kern layer; each
+//     vertex's candidate is a pure function of the replicated state, so chunk
+//     geometry and worker count cannot change it. Only the FIRST round of a
+//     pass scores the whole block: applied moves are replicated, so every
+//     rank knows exactly which vertices' neighborhoods changed, and later
+//     rounds re-score only those (a vertex whose candidate went stale merely
+//     through part-weight drift keeps proposing its old move; the resolve
+//     re-score below is what decides, so staleness costs quality of proposals
+//     — never correctness, and never determinism).
+//
+//  3. Exchange. Proposals are packed two int64 words per move and
+//     all-gathered in ascending rank order (par.AllGatherMoves), so every
+//     rank decodes the identical proposal list: all proposals in ascending
+//     vertex order, independent of how many ranks produced them.
+//
+//  4. Resolve + apply. Every rank replays the same resolution serially:
+//     proposals ordered by (gain desc, vertex id asc, destination asc) via a
+//     monomorphic binary heap, each re-scored against the current partition
+//     before it is applied (earlier moves this round may have changed its
+//     gain), skipped if its vertex is locked, its gain is no longer
+//     positive, its source part would be emptied, or (hard-balance) its
+//     destination would exceed the limit. Applied vertices lock for the
+//     rest of the pass. The replay is deterministic arithmetic on replicated
+//     state, so all ranks finish the round with byte-identical partitions —
+//     conflict resolution without a coordinator.
+//
+// Rounds repeat until one applies nothing; passes (with all locks cleared)
+// repeat up to cfg.Passes like the serial KL. Every applied move has
+// strictly positive recomputed gain, so the objective strictly decreases
+// and the sweep cannot oscillate. A final paredassert cross-check reruns
+// the whole sweep through the serial loopback exchanger and asserts
+// byte-identical output — the rank-count-invariance contract, executable.
+
+import (
+	"math"
+
+	"pared/internal/check"
+	"pared/internal/graph"
+	"pared/internal/kern"
+)
+
+// Exchanger is the collective surface the distributed refinement sweep
+// needs. *par.Comm satisfies it; Serial is the in-process single-rank
+// loopback (the serial reference the cross-checks compare against). The
+// interface lives here so core does not import par: the sweep's protocol is
+// defined by these three collectives, not by a transport.
+type Exchanger interface {
+	// Rank and Size follow the par.Comm convention.
+	Rank() int
+	Size() int
+	// AllGatherMoves concatenates every rank's packed move words in
+	// ascending rank order into out (grown as needed, returned). The result
+	// must not alias any sender's buffer; senders reuse a sent buffer no
+	// sooner than two exchanges later (see the ping-pong at the call site).
+	AllGatherMoves(moves []int64, views [][]int64, out []int64) []int64
+	// BcastInt32 distributes root's slice to every rank. Receivers treat
+	// the result as read-only (it may alias the root's buffer).
+	BcastInt32(root int, xs []int32) []int32
+}
+
+// loopback is the single-rank Exchanger: the serial reference
+// implementation of the exchange protocol.
+type loopback struct{}
+
+func (loopback) Rank() int { return 0 }
+func (loopback) Size() int { return 1 }
+func (loopback) AllGatherMoves(moves []int64, views [][]int64, out []int64) []int64 {
+	if cap(out) < len(moves) {
+		out = make([]int64, len(moves))
+	}
+	out = out[:len(moves)]
+	copy(out, moves)
+	return out
+}
+func (loopback) BcastInt32(root int, xs []int32) []int32 { return xs }
+
+// Serial is the single-rank loopback Exchanger: Config.DistRefine = Serial
+// runs the distributed sweep's exact move selection without any
+// communication — the reference the multi-rank runs must match byte for
+// byte, and the way serial callers (tests, experiments) opt into the sweep.
+var Serial Exchanger = loopback{}
+
+// distGrain is the kern chunk size of the scoring phase. Grain is part of
+// the static chunk geometry but not of the result: every vertex's candidate
+// is a pure function of the replicated state.
+const distGrain = 256
+
+// distMove is one decoded move proposal.
+type distMove struct {
+	gain float64
+	v    int32
+	to   int32
+}
+
+// distScratch holds the sweep's work buffers, embedded in klScratch so the
+// V-cycle drivers reuse them across levels and cycles. Steady state
+// allocates nothing: slices grow to the largest graph seen.
+type distScratch struct {
+	partW    []int64   // replicated part weights
+	partCnt  []int32   // vertices per part (empty-part guard)
+	locked   []bool    // moved this pass
+	candTo   []int32   // per-vertex best destination (-1: none)
+	candGain []float64 // gain of candTo
+	extW     []int64   // per-chunk part-weight scratch, NumChunks×p
+	touched  []int32   // per-chunk touched-part lists, NumChunks×p
+	pack     [2][]int64
+	parity   int       // which pack buffer the next exchange sends
+	views    [][]int64 // AllGatherMoves header scratch, one per rank
+	gathered []int64   // AllGatherMoves output
+	heap     []distMove
+	appliedV []int32 // vertices moved by the last resolveMoves, in apply order
+	stamp    []int32 // per-vertex dirty stamp (generation scheme, no clearing)
+	stampGen int32   // current dirty generation
+	dirty    []int32 // this rank's in-block vertices needing a re-score
+}
+
+// ensure grows the scratch for an n-vertex graph, p parts and R ranks.
+func (ds *distScratch) ensure(n, p, R int) {
+	ds.partW = growI64s(ds.partW, p)
+	if cap(ds.partCnt) < p {
+		ds.partCnt = make([]int32, p)
+	}
+	ds.locked = growBool(ds.locked, n)
+	if cap(ds.candTo) < n {
+		ds.candTo = make([]int32, n)
+		ds.candGain = make([]float64, n)
+	}
+	if cap(ds.appliedV) < n {
+		ds.appliedV = make([]int32, 0, n)
+		ds.dirty = make([]int32, 0, n)
+	}
+	// New stamp entries are zero; stampGen only grows, so they read as clean.
+	ds.stamp = growI32s(ds.stamp, n)
+	// Worst-case chunk count: the whole graph in one block.
+	nc := kern.NumChunks(n, distGrain)
+	if nc < 1 {
+		nc = 1
+	}
+	if cap(ds.extW) < nc*p {
+		ds.extW = make([]int64, nc*p)
+		ds.touched = make([]int32, nc*p)
+	}
+	if cap(ds.views) < R {
+		ds.views = make([][]int64, R)
+	}
+	ds.views = ds.views[:R]
+}
+
+// distLess orders move a before move b: higher gain first, ties by vertex
+// id then destination. The float comparisons realize the equal-gain
+// tie-break without a float == (the > and < clauses have both failed when
+// the id compare runs).
+//
+//pared:hotpath
+func distLess(a, b distMove) bool {
+	if a.gain > b.gain {
+		return true
+	}
+	if a.gain < b.gain {
+		return false
+	}
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	return a.to < b.to
+}
+
+// distDown is container/heap's siftDown, monomorphic over distMove (the
+// pairQueue port in gaintable.go, same reasoning: heap.Interface would box
+// every element on the resolution hot loop).
+//
+//pared:hotpath
+func distDown(h []distMove, i0, n int) {
+	h = h[:n] // pin the heap bound for the index proofs below
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && distLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !distLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// distScoreRange scores vertices [lo, hi) of the replicated graph against
+// the current partition: candTo[v]/candGain[v] receive v's best
+// strictly-positive move, or candTo[v] = -1. Each vertex's result is a pure
+// function of (g, parts, orig, partW, partCnt, locked, cfg), so the output
+// is independent of how [0, n) was chunked — the property the kern scoring
+// relies on. extW and touchedBuf are the chunk-private scratch (length p).
+//
+//pared:hotpath append=touched
+func distScoreRange(g *graph.Graph, parts, orig []int32, partW []int64, partCnt []int32, locked []bool, p int, cfg Config, hardBalance bool, limit int64, lo, hi int, extW []int64, touchedBuf []int32, candTo []int32, candGain []float64) {
+	n := len(g.VW) // g.N(), as the length fact the index proofs chain from
+	parts = parts[:n]
+	orig = orig[:n]
+	locked = locked[:n]
+	candTo = candTo[:n]
+	candGain = candGain[:n]
+	extW = extW[:p]
+	partW = partW[:p]
+	if hi > n {
+		hi = n
+	}
+	//pared:narrow(1<<31 - 1)
+	for v := int32(lo); v < int32(hi); v++ {
+		distScoreVertex(g, parts, orig, partW, partCnt, locked, cfg, hardBalance, limit, v, extW, touchedBuf, candTo, candGain)
+	}
+}
+
+// distScoreVertex scores one vertex: candTo[v]/candGain[v] receive v's best
+// strictly-positive move under the current replicated state, or candTo[v] =
+// -1. extW must enter zeroed and leaves zeroed; touchedBuf holds at most one
+// entry per part, so it never grows past its ensure()d capacity.
+//
+//pared:hotpath append=touched
+func distScoreVertex(g *graph.Graph, parts, orig []int32, partW []int64, partCnt []int32, locked []bool, cfg Config, hardBalance bool, limit int64, v int32, extW []int64, touchedBuf []int32, candTo []int32, candGain []float64) {
+	touched := touchedBuf[:0]
+	candTo[v] = -1
+	if locked[v] {
+		return
+	}
+	i := parts[v]
+	if partCnt[i] <= 1 {
+		return // moving the last vertex would empty part i
+	}
+	cross := false
+	g.Neighbors(v, func(u int32, w int64) {
+		pu := parts[u]
+		if extW[pu] == 0 {
+			touched = append(touched, pu)
+		}
+		extW[pu] += w
+		if pu != i {
+			cross = true
+		}
+	})
+	if cross {
+		wv := g.VW[v]
+		var selTo int32 = -1
+		selGain := 0.0
+		for _, j := range touched {
+			if j == i {
+				continue
+			}
+			if hardBalance && partW[j]+wv > limit {
+				continue
+			}
+			gc := float64(extW[j] - extW[i])
+			gm := 0.0
+			if i == orig[v] {
+				gm -= cfg.Alpha * float64(wv)
+			}
+			if j == orig[v] {
+				gm += cfg.Alpha * float64(wv)
+			}
+			gain := gc + gm
+			if !hardBalance {
+				gain += 2 * cfg.Beta * float64(wv) * float64(partW[i]-partW[j]-wv)
+			}
+			// ">= && j<" is the equal-gain tie-break without a float ==;
+			// selGain starts at 0, so only strictly positive gains ever
+			// select (the sweep proposes improvements, not hill climbs).
+			if gain > selGain || (selTo >= 0 && gain >= selGain && j < selTo) {
+				selTo, selGain = j, gain
+			}
+		}
+		if selTo >= 0 {
+			candTo[v] = selTo
+			candGain[v] = selGain
+		}
+	}
+	for _, j := range touched {
+		extW[j] = 0
+	}
+}
+
+// resolveMoves replays one round's gathered proposals against the current
+// partition — the deterministic conflict resolution every rank runs
+// identically. packed holds all ranks' proposals in ascending vertex order;
+// they are re-ordered best-gain-first (ties by vertex id, then destination)
+// and each is re-scored before application. Returns the number of applied
+// moves (identical on every rank, so the round loop needs no extra
+// collective to agree on termination).
+//
+//pared:hotpath append=h,appliedV
+func resolveMoves(ds *distScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance bool, limit int64, packed []int64) int {
+	n := len(g.VW)
+	parts = parts[:n]
+	orig = orig[:n]
+	partW := ds.partW[:p]
+	partCnt := ds.partCnt[:p]
+	locked := ds.locked[:n]
+	appliedV := ds.appliedV[:0]
+	h := ds.heap[:0]
+	for k := 0; k+1 < len(packed); k += 2 {
+		w0, w1 := packed[k], packed[k+1]
+		// Wire format (see the pack loop): w0 = v<<32 | to, w1 = the gain's
+		// float bits carried through an int64 lane. The masks are identities —
+		// v and to are nonnegative int32 ids, so each mask also hands the
+		// width checker a provable [0, 2³¹) interval; the gain's sign bit is
+		// peeled off the int64 and restored on the uint64 side.
+		gainBits := uint64(w1 & 0x7fffffffffffffff)
+		if w1 < 0 {
+			gainBits |= 1 << 63
+		}
+		v := int32(w0 >> 32 & 0x7fffffff)
+		to := int32(w0 & 0x7fffffff)
+		h = append(h, distMove{gain: math.Float64frombits(gainBits), v: v, to: to})
+	}
+	ds.heap = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		distDown(h, i, len(h))
+	}
+	applied := 0
+	for len(h) > 0 {
+		m := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		distDown(h, 0, last)
+		v := m.v
+		if locked[v] || m.to == parts[v] {
+			continue
+		}
+		from := parts[v]
+		if partCnt[from] <= 1 {
+			continue // a chain of departures must not empty a part
+		}
+		wv := g.VW[v]
+		if hardBalance && partW[m.to]+wv > limit {
+			continue
+		}
+		// Re-score against the current partition: earlier applications this
+		// round may have moved neighbors or shifted part weights.
+		var extI, extJ int64
+		g.Neighbors(v, func(u int32, w int64) {
+			pu := parts[u]
+			if pu == from {
+				extI += w
+			}
+			if pu == m.to {
+				extJ += w
+			}
+		})
+		gc := float64(extJ - extI)
+		gm := 0.0
+		if from == orig[v] {
+			gm -= cfg.Alpha * float64(wv)
+		}
+		if m.to == orig[v] {
+			gm += cfg.Alpha * float64(wv)
+		}
+		gain := gc + gm
+		if !hardBalance {
+			gain += 2 * cfg.Beta * float64(wv) * float64(partW[from]-partW[m.to]-wv)
+		}
+		if gain <= 0 {
+			continue
+		}
+		parts[v] = m.to
+		partW[from] -= wv
+		partW[m.to] += wv
+		partCnt[from]--
+		partCnt[m.to]++
+		locked[v] = true
+		appliedV = append(appliedV, v)
+		applied++
+	}
+	ds.appliedV = appliedV
+	if check.Enabled {
+		check.PartitionWeights(g, parts, p, partW, "core.resolveMoves")
+	}
+	return applied
+}
+
+// distScoreChunks runs the scoring phase kern-chunked over this rank's
+// block [lo0, hi0). It exists as a separate function so the kern closure
+// (which makes its captures escape) lives outside distRefineSweep: the
+// single-worker fast path then stays allocation-free, and the closure cost
+// is paid only when there are workers to feed. Only hoisted slice locals are
+// captured — never the scratch struct itself (the scratchalias contract).
+func distScoreChunks(ds *distScratch, g *graph.Graph, parts, orig []int32, partW []int64, partCnt []int32, locked []bool, p int, cfg Config, hardBalance bool, limit int64, lo0, hi0 int) {
+	extAll, touchedAll := ds.extW, ds.touched
+	candTo, candGain := ds.candTo, ds.candGain
+	kern.ForChunks(hi0-lo0, distGrain, func(c, lo, hi int) {
+		// Chunk-private scratch rows; candTo/candGain writes land only on
+		// this chunk's vertices.
+		distScoreRange(g, parts, orig, partW, partCnt, locked, p, cfg, hardBalance, limit, lo0+lo, lo0+hi, extAll[c*p:(c+1)*p], touchedAll[c*p:(c+1)*p], candTo, candGain)
+	})
+}
+
+// distRescoreDirty is the incremental scoring of rounds after the first: the
+// last round's applied moves (replicated — every rank resolved the identical
+// list) are the only state change, so only the moved vertices and their
+// neighbors can have a different best move. Each is re-scored if it falls in
+// this rank's block; everyone else keeps its possibly-stale candidate, which
+// the resolve re-score vets before any application. The dirty set is a pure
+// function of the replicated applied list and the (n, R)-determined block
+// geometry, so which vertices re-score — and therefore every candidate
+// array — stays byte-identical across rank counts. Stamps deduplicate
+// without clearing: the generation counter only grows.
+//
+//pared:hotpath append=dirty
+func distRescoreDirty(ds *distScratch, g *graph.Graph, parts, orig []int32, partW []int64, partCnt []int32, locked []bool, p int, cfg Config, hardBalance bool, limit int64, lo0, hi0 int) {
+	ds.stampGen++
+	gen := ds.stampGen
+	stamp := ds.stamp
+	dirty := ds.dirty[:0]
+	for _, v := range ds.appliedV {
+		if stamp[v] != gen {
+			stamp[v] = gen
+			if int(v) >= lo0 && int(v) < hi0 {
+				dirty = append(dirty, v)
+			}
+		}
+		g.Neighbors(v, func(u int32, _ int64) {
+			if stamp[u] != gen {
+				stamp[u] = gen
+				if int(u) >= lo0 && int(u) < hi0 {
+					dirty = append(dirty, u)
+				}
+			}
+		})
+	}
+	ds.dirty = dirty
+	extW, touched := ds.extW[:p], ds.touched[:p]
+	candTo, candGain := ds.candTo, ds.candGain
+	for _, v := range dirty {
+		distScoreVertex(g, parts, orig, partW, partCnt, locked, cfg, hardBalance, limit, v, extW, touched, candTo, candGain)
+	}
+}
+
+// distRefineSweep is the distributed replacement for one refineKL (or, with
+// hardBalance, one polishKL) call: all ranks of cfg.DistRefine enter with
+// byte-identical (g, parts, orig, cfg) and leave with byte-identical parts.
+func distRefineSweep(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance bool) {
+	n := len(g.VW)
+	if n == 0 || p <= 1 {
+		return // same n and p everywhere: all ranks skip in lockstep
+	}
+	parts = parts[:n]
+	ex := cfg.DistRefine
+	R := ex.Size()
+	rank := ex.Rank()
+	ds := &s.dist
+	ds.ensure(n, p, R)
+	partW := ds.partW[:p]
+	partCnt := ds.partCnt[:p]
+	for j := 0; j < p; j++ {
+		partW[j] = 0
+		partCnt[j] = 0
+	}
+	for v := 0; v < n; v++ {
+		partW[parts[v]] += g.VW[v]
+		partCnt[parts[v]]++
+	}
+	var limit int64
+	if hardBalance {
+		var total int64
+		for _, w := range partW {
+			total += w
+		}
+		limit = int64(float64(total) / float64(p) * (1 + cfg.Eps))
+	}
+	// Contiguous balanced block split: the first n%R ranks own one extra
+	// vertex. Blocks tile [0, n) in rank order, which is what makes the
+	// rank-ordered AllGatherMoves concatenation a list in ascending vertex
+	// order for ANY R.
+	q, r := n/R, n%R
+	lo0 := rank * q
+	if rank < r {
+		lo0 += rank
+	} else {
+		lo0 += r
+	}
+	hi0 := lo0 + q
+	if rank < r {
+		hi0++
+	}
+	locked := ds.locked[:n]
+	candTo, candGain := ds.candTo[:n], ds.candGain[:n]
+	for pass := 0; pass < cfg.Passes; pass++ {
+		for i := range locked {
+			locked[i] = false
+		}
+		appliedInPass := 0
+		for round := 0; ; round++ {
+			bn := hi0 - lo0
+			if bn > 0 {
+				if round > 0 {
+					// Later rounds: only the last resolve's moves changed
+					// anything — re-score just their neighborhoods.
+					distRescoreDirty(ds, g, parts, orig, partW, partCnt, locked, p, cfg, hardBalance, limit, lo0, hi0)
+				} else if kern.Workers() == 1 || kern.NumChunks(bn, distGrain) == 1 {
+					// Single-worker/single-chunk fast path (the MulVec
+					// idiom): same per-vertex results, no closure, no
+					// goroutines — and keeping the kern closure out of THIS
+					// function keeps parts/cfg off the heap here, so the
+					// serial steady state allocates nothing.
+					distScoreRange(g, parts, orig, partW, partCnt, locked, p, cfg, hardBalance, limit, lo0, hi0, ds.extW[:p], ds.touched[:p], candTo, candGain)
+				} else {
+					distScoreChunks(ds, g, parts, orig, partW, partCnt, locked, p, cfg, hardBalance, limit, lo0, hi0)
+				}
+			}
+			// Pack this block's proposals — the whole block on the opening
+			// round, only the freshly re-scored dirty set afterwards (a stale
+			// candidate was already proposed and resolved once; re-sending it
+			// with a stale gain would let outdated priorities win conflicts).
+			// The resolve heap pops a strict total order (gain desc, v asc,
+			// to asc) with at most one proposal per vertex, so pack ORDER
+			// cannot affect the outcome — only the proposal SET must be
+			// rank-count-invariant, and both the block tiling and the dirty
+			// set are. The send buffers ping-pong: the buffer sent in
+			// exchange e is reused in exchange e+2, by which point every peer
+			// has entered exchange e+1 — which it can only do after folding
+			// (copying) exchange e's lanes — so the overwrite races with
+			// nobody.
+			buf := ds.pack[ds.parity][:0]
+			if round == 0 {
+				for v := lo0; v < hi0; v++ {
+					if candTo[v] >= 0 {
+						buf = append(buf, int64(v)<<32|int64(uint32(candTo[v])), int64(math.Float64bits(candGain[v])))
+					}
+				}
+			} else {
+				for _, v := range ds.dirty {
+					if candTo[v] >= 0 {
+						buf = append(buf, int64(v)<<32|int64(uint32(candTo[v])), int64(math.Float64bits(candGain[v])))
+					}
+				}
+			}
+			ds.pack[ds.parity] = buf
+			ds.parity ^= 1
+			ds.gathered = ex.AllGatherMoves(buf, ds.views, ds.gathered)
+			applied := resolveMoves(ds, g, parts, orig, p, cfg, hardBalance, limit, ds.gathered)
+			appliedInPass += applied
+			if applied == 0 {
+				break // computed from replicated state: all ranks agree
+			}
+		}
+		if appliedInPass == 0 {
+			break
+		}
+	}
+}
+
+// distRefineStep dispatches one refinement step through the distributed
+// sweep, with the paredassert cross-check: under the assert tag every
+// multi-rank sweep is replayed through the Serial loopback on a private
+// copy and the results compared byte for byte — the "byte-identical to a
+// serial reference for any rank count" contract, executed at every level of
+// every V-cycle.
+func distRefineStep(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config, hardBalance bool) {
+	if check.Enabled {
+		if _, isSerial := cfg.DistRefine.(loopback); !isSerial {
+			ref := append([]int32(nil), parts...)
+			distRefineSweep(s, g, parts, orig, p, cfg, hardBalance)
+			scfg := cfg
+			scfg.DistRefine = Serial
+			distRefineSweep(new(klScratch), g, ref, orig, p, scfg, hardBalance)
+			for v := range parts {
+				check.Assertf(parts[v] == ref[v],
+					"core: distributed refine (rank %d/%d) diverges from serial reference at vertex %d: %d vs %d",
+					cfg.DistRefine.Rank(), cfg.DistRefine.Size(), v, parts[v], ref[v])
+			}
+			return
+		}
+	}
+	distRefineSweep(s, g, parts, orig, p, cfg, hardBalance)
+}
+
+// refineStep runs one soft-balance refinement: the distributed sweep when
+// cfg.DistRefine is set (which also supersedes UseGainTable), the serial KL
+// variants otherwise.
+func refineStep(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config) {
+	if cfg.DistRefine != nil {
+		distRefineStep(s, g, parts, orig, p, cfg, false)
+		return
+	}
+	refineKL(s, g, parts, orig, p, cfg)
+}
+
+// polishStep runs one hard-balance cut polish, distributed or serial like
+// refineStep.
+func polishStep(s *klScratch, g *graph.Graph, parts, orig []int32, p int, cfg Config) {
+	if cfg.DistRefine != nil {
+		distRefineStep(s, g, parts, orig, p, cfg, true)
+		return
+	}
+	polishKL(s, g, parts, orig, p, cfg)
+}

@@ -23,6 +23,9 @@ type klScratch struct {
 	touched    []int32
 	boundary   []int32
 	moves      []klMove
+	// dist holds the distributed-refinement buffers (distrefine.go); idle
+	// (and never grown) unless Config.DistRefine routes the sweeps there.
+	dist distScratch
 }
 
 //pared:hotpath
@@ -37,6 +40,14 @@ func growBool(s []bool, n int) []bool {
 func growI64s(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+//pared:hotpath
+func growI32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
 	return s[:n]
 }

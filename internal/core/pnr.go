@@ -75,6 +75,14 @@ type Config struct {
 	// Initial configures the Multilevel-KL partitioner used when no current
 	// assignment exists (the t = 0 initial partition).
 	Initial mlkl.Config
+	// DistRefine, when non-nil, replaces every serial KL sweep of the
+	// V-cycle (refineKL and polishKL alike) with the rank-distributed
+	// deterministic sweep of distrefine.go. Every rank of the exchanger must
+	// then call Repartition collectively with byte-identical arguments; the
+	// results are byte-identical on every rank and invariant under the rank
+	// count and GOMAXPROCS. Serial is the single-rank loopback. Supersedes
+	// UseGainTable. nil (the default) keeps the serial pipeline unchanged.
+	DistRefine Exchanger
 }
 
 func (c Config) withDefaults() Config {
@@ -197,17 +205,19 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 		}
 		parts = repartitionML(scr, g, parts, old, p, cyc, 0, cur)
 		// Safety net: if the soft balance term left residual imbalance,
-		// apply forced boundary moves until within ε.
+		// apply forced boundary moves until within ε. Runs replicated (and
+		// byte-identically) on every rank under DistRefine: it is
+		// deterministic local arithmetic on replicated state.
 		forceBalance(&scr.kl, g, parts, old, p, cyc)
 		// Cut polish under a hard balance constraint (see polishKL).
-		polishKL(&scr.kl, g, parts, old, p, cyc)
+		polishStep(&scr.kl, g, parts, old, p, cyc)
 		cost := Cost(g, old, parts, p, cfg.Alpha, cfg.Beta)
 		if cycle == 0 || cost < bestCost {
 			best = append([]int32(nil), parts...)
 			bestCost = cost
 		}
 	}
-	if !flat {
+	if !flat && cfg.DistRefine == nil {
 		// Large restructure: most of the mesh moves regardless, so a fresh
 		// multilevel partition relabeled to minimize migration (scratch-
 		// remap) can beat incremental refinement — its cut is unconstrained
@@ -215,6 +225,15 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 		// are compared on cut + α·migration, and scratch is adopted only on
 		// a clear (>10%) win: near-ties keep the incremental result, whose
 		// migration routes stay near the §8 lower estimate.
+		//
+		// The candidate is skipped under DistRefine: the recursive-bisection
+		// partition is inherently serial coordinator work — every rank would
+		// idle behind rank 0, re-creating exactly the wall the distributed
+		// sweep removes — and its adoptions migrate large tree populations
+		// the incremental result would have kept in place. The collective
+		// pipeline accepts the V-cycle's incremental best instead; the
+		// imbalance bound still holds (forceBalance + the hard-balance
+		// polish run every cycle).
 		init := cfg.Initial
 		if init.Seed == 0 {
 			init.Seed = cfg.Seed
@@ -222,7 +241,7 @@ func Repartition(g *graph.Graph, old []int32, p int, cfg Config) []int32 {
 		scratch := mlkl.Partition(g, p, init)
 		scratch = partition.MinMigrationRelabel(g.VW, old, scratch, p)
 		forceBalance(&scr.kl, g, scratch, old, p, cfg)
-		polishKL(&scr.kl, g, scratch, old, p, cfg)
+		polishStep(&scr.kl, g, scratch, old, p, cfg)
 		cutMig := func(parts []int32) float64 {
 			return float64(partition.EdgeCut(g, parts)) +
 				cfg.Alpha*float64(partition.MigrationCost(g.VW, old, parts))
@@ -248,7 +267,7 @@ func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, 
 	}
 	if g.N() <= stop || depth > 40 {
 		parts := append([]int32(nil), start...)
-		refineKL(&scr.kl, g, parts, orig, p, cfg)
+		refineStep(&scr.kl, g, parts, orig, p, cfg)
 		return parts
 	}
 	// Cap contracted-vertex weight so coarse-level KL moves stay reversible
@@ -268,11 +287,27 @@ func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, 
 		if cfg.UnrestrictedMatching {
 			allow = func(u, v int32) bool { return g.VW[u]+g.VW[v] <= capW }
 		}
-		match := graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
+		var match []int32
+		if ex := cfg.DistRefine; ex != nil && ex.Size() > 1 {
+			// The matching is deterministic serial work on replicated state:
+			// every rank would compute the identical array, multiplying the
+			// cost by the rank count for nothing. Rank 0 computes, everyone
+			// receives; ContractInto only reads the slice, so aliasing the
+			// root's buffer across ranks is safe. All ranks reach this branch
+			// in lockstep (the cursor cache and the 19/20 bail below are
+			// deterministic functions of replicated state), so the broadcast
+			// is collective-safe.
+			if ex.Rank() == 0 {
+				match = graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
+			}
+			match = ex.BcastInt32(0, match)
+		} else {
+			match = graph.HeavyEdgeMatching(g, cfg.Seed+int64(depth), allow)
+		}
 		cg, f2c = graph.ContractInto(g, match, &scr.contract)
 		if cg.N() >= g.N()*19/20 {
 			parts := append([]int32(nil), start...)
-			refineKL(&scr.kl, g, parts, orig, p, cfg)
+			refineStep(&scr.kl, g, parts, orig, p, cfg)
 			return parts
 		}
 		cur.record(g, cg, f2c)
@@ -303,7 +338,7 @@ func repartitionML(scr *pnrScratch, g *graph.Graph, start, orig []int32, p int, 
 	for v := range parts {
 		parts[v] = cparts[f2c[v]]
 	}
-	refineKL(&scr.kl, g, parts, orig, p, cfg)
-	polishKL(&scr.kl, g, parts, orig, p, cfg)
+	refineStep(&scr.kl, g, parts, orig, p, cfg)
+	polishStep(&scr.kl, g, parts, orig, p, cfg)
 	return parts
 }

@@ -25,7 +25,8 @@ type EnginePhases struct {
 // engineConfig maps an EngineDemo mode name onto an engine configuration:
 // "incremental" and "scratch" are the PNR pipeline variants, "sfc" the
 // coordinator-free curve pipeline, "mlkl" the coordinator pipeline with the
-// direct multilevel-KL repartitioner substituted for PNR.
+// direct multilevel-KL repartitioner substituted for PNR, "distrefine" the
+// incremental pipeline with the refinement sweep distributed across ranks.
 func engineConfig(mode string) pared.Config {
 	switch mode {
 	case "scratch":
@@ -36,6 +37,8 @@ func engineConfig(mode string) pared.Config {
 		return pared.Config{Repartition: func(g *graph.Graph, old []int32, np int) []int32 {
 			return mlkl.Partition(g, np, mlkl.Config{})
 		}}
+	case "distrefine":
+		return pared.Config{DistRefine: true}
 	default:
 		return pared.Config{}
 	}

@@ -49,11 +49,16 @@ var collectiveNames = map[string]bool{
 	"AllReduceMax": true,
 	"Alltoall":     true,
 	// Typed variants (par/typed.go) participate in the same collSeq ordering.
-	"AllReduceMaxSum": true,
-	"GatherInt32":     true,
-	"GatherInt64":     true,
-	"BcastInt32":      true,
-	"AlltoallBytes":   true,
+	"AllReduceMaxSum":    true,
+	"AllReduceSumInt64":  true,
+	"ExclusiveScanInt64": true,
+	"AllGatherInt32":     true,
+	"AllGatherInt64":     true,
+	"AllGatherMoves":     true,
+	"GatherInt32":        true,
+	"GatherInt64":        true,
+	"BcastInt32":         true,
+	"AlltoallBytes":      true,
 }
 
 // kernEntryNames are the kern entry points that run a caller-supplied body on

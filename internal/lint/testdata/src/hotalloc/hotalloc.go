@@ -188,3 +188,30 @@ func (t *table) mark(v int32) {
 func hotAllowed() []int {
 	return []int{1, 2, 3} //paredlint:allow hotalloc -- cold init path, measured
 }
+
+// repackScratch mirrors the distributed-refinement scratch: per-round
+// repacked buffers (a conflict heap and ping-pong send lanes) that the sweep
+// truncates and refills on the hot path.
+type repackScratch struct {
+	heap []int64
+	pack [2][]int64
+}
+
+// hotRepack refills the annotated scratch buffers (fine) and one unlisted
+// local (flagged): the append= list is the contract that the named slices
+// amortize to their high-water mark.
+//
+//pared:hotpath append=h,buf
+func hotRepack(ds *repackScratch, vals []int64, parity int) {
+	h := ds.heap[:0]
+	for _, v := range vals {
+		h = append(h, v)
+	}
+	ds.heap = h
+	buf := ds.pack[parity&1][:0]
+	buf = append(buf, int64(len(h)))
+	ds.pack[parity&1] = buf
+	var spill []int64
+	spill = append(spill, h...) // want "append to .spill. may grow the backing array"
+	_ = spill
+}

@@ -81,3 +81,47 @@ func okSequentialReuse(xs []float64) {
 func okPlainClosure(s *workScratch) func() int {
 	return func() int { return len(s.buf) }
 }
+
+// exchScratch mirrors the distributed-refinement scratch: lane buffers that
+// feed the typed all-gather collectives each sweep round.
+type exchScratch struct {
+	lanes    []int64
+	views    [][]int64
+	gathered []int64
+}
+
+// sentViaTypedGather ships scratch-owned lanes through a typed collective.
+// The payload travels by reference, so every receiver would alias this
+// rank's buffers — same rule as the any-payload collectives.
+func sentViaTypedGather(c *par.Comm, s *exchScratch) {
+	_ = c.AllGatherInt64(s.lanes) // want "scratch s sent across ranks via .*AllGatherInt64"
+}
+
+// sentViaMovesGather covers the move-exchange collective added for the
+// distributed refinement sweep.
+func sentViaMovesGather(c *par.Comm, s *exchScratch, views [][]int64, out []int64) []int64 {
+	return c.AllGatherMoves(s.lanes, views, out) // want "scratch s sent across ranks via .*AllGatherMoves"
+}
+
+// outerScratch nests a scratch inside a scratch (the klScratch.dist idiom):
+// the nested field is itself a named *Scratch type, so handing it to a
+// concurrent body is flagged through either name.
+type outerScratch struct {
+	dist exchScratch
+}
+
+// nestedCapturedByKern captures the nested scratch in a kern body.
+func nestedCapturedByKern(o *outerScratch, xs []int64) {
+	d := &o.dist
+	kern.For(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d.lanes[i] = xs[i] // want "scratch d captured by a kern body"
+		}
+	})
+}
+
+// okNestedSequential reuses the nested scratch sequentially — no finding.
+func okNestedSequential(o *outerScratch) {
+	d := &o.dist
+	d.lanes = d.lanes[:0]
+}

@@ -25,6 +25,7 @@ const (
 	tagSumDown
 	tagAllGatherI32
 	tagAllGatherI64
+	tagAllGatherMoves
 )
 
 // AllReduceMaxSum combines every rank's value into (max, sum) in one fused
@@ -147,6 +148,51 @@ func (c *Comm) AllGatherInt64(xs []int64) [][]int64 {
 	for i := 0; i < c.size-1; i++ {
 		m := c.recvMsg(AnySource, tagAllGatherI64, seq)
 		out[m.src] = m.i64
+	}
+	return out
+}
+
+// AllGatherMoves delivers every rank's packed move words to every rank,
+// concatenated in ascending rank order into out (grown as needed and
+// returned). It is the move-exchange collective of the distributed
+// refinement sweep (core.distRefineSweep): because every rank folds the
+// lanes in the same rank order, all ranks decode the identical proposal
+// sequence, which is what makes the sweep's conflict resolution
+// rank-count-invariant.
+//
+// Unlike the other typed collectives the result does NOT alias any sender's
+// buffer: each incoming lane is copied into out before the call returns.
+// Senders still must not reuse a sent buffer until every peer has finished
+// the NEXT collective (a peer may dequeue this round's message only when it
+// enters the next one), so callers alternate two send buffers — see the
+// reuse-distance argument at the core call site. views is caller scratch for
+// the incoming slice headers; it must have length Size.
+func (c *Comm) AllGatherMoves(moves []int64, views [][]int64, out []int64) []int64 {
+	if len(views) != c.size {
+		panic("par: AllGatherMoves needs one view slot per rank")
+	}
+	c.collSeq++
+	seq := c.collSeq
+	views[c.rank] = moves
+	for i := 0; i < c.size; i++ {
+		if i != c.rank {
+			c.world.boxes[i] <- message{src: c.rank, tag: tagAllGatherMoves, seq: seq, i64: moves}
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		m := c.recvMsg(AnySource, tagAllGatherMoves, seq)
+		views[m.src] = m.i64
+	}
+	total := 0
+	for _, v := range views {
+		total += len(v)
+	}
+	if cap(out) < total {
+		out = make([]int64, total)
+	}
+	out = out[:0]
+	for _, v := range views {
+		out = append(out, v...)
 	}
 	return out
 }

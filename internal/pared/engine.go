@@ -63,16 +63,39 @@ type Config struct {
 	// a persistent multilevel cache is installed so epochs under small weight
 	// drift reuse contraction hierarchies (see core.Hierarchy).
 	PNR core.Config
+	// DistRefine distributes the P3 refinement sweep across all ranks
+	// (core.Config.DistRefine over this engine's communicator): instead of
+	// rank 0 repartitioning alone while the others idle, every rank patches a
+	// replicated coarse graph from all-gathered weight deltas and enters
+	// core.Repartition collectively, with the KL sweeps rank-split and
+	// resolved deterministically (see core/distrefine.go). The owner map
+	// comes out byte-identical on every rank with no broadcast, for any rank
+	// count. Applies to the default repartitioner only — ignored when
+	// Repartition is set (a custom Repartitioner would have to be collective)
+	// and in ModeSFC (which has no refinement sweep to distribute).
+	DistRefine bool
 	// Trace, if set, receives one line per engine phase with timings and
 	// volumes (adapt rounds, weight-gather sizes, migration counts).
 	Trace TraceFunc
+
+	// distActive records that DistRefine was accepted at defaulting time
+	// (default repartitioner, non-SFC mode): the signal rebalancePNR uses to
+	// switch P2/P3 onto the symmetric replicated pipeline.
+	distActive bool
 }
 
-func (c Config) withDefaults(p int) Config {
+func (c Config) withDefaults(comm *par.Comm) Config {
 	if c.Repartition == nil {
 		pnr := c.PNR
 		if pnr.Hierarchy == nil && !c.Scratch {
+			// Under DistRefine every rank runs Repartition on byte-identical
+			// inputs, so the per-rank caches evolve identically and stay in
+			// lockstep without any exchange.
 			pnr.Hierarchy = core.NewHierarchy()
+		}
+		if c.DistRefine && c.Mode != ModeSFC {
+			pnr.DistRefine = comm
+			c.distActive = true
 		}
 		c.Repartition = func(g *graph.Graph, old []int32, np int) []int32 {
 			return core.Repartition(g, old, np, pnr)
@@ -110,9 +133,11 @@ type Engine struct {
 	// adaptation changes weights, never the coarse adjacency — so the
 	// coordinator builds the CSR once and ranks report only weight deltas.
 	//
-	// gCache is the coordinator's cached coarse dual graph (rank 0 only):
-	// topology from the replicated coarse mesh, weights accumulated from
-	// delta reports. lastVW/lastEW are this rank's previous report, the
+	// gCache is the cached coarse dual graph: topology from the replicated
+	// coarse mesh, weights accumulated from delta reports. Rank 0 only under
+	// the coordinator pipeline; replicated on every rank under DistRefine
+	// (each rank folds the same all-gathered deltas in the same order, so the
+	// copies stay byte-identical without exchange). lastVW/lastEW are this rank's previous report, the
 	// baseline its next delta is computed against; deltas are additive, so
 	// tree migration needs no special handling — a departed tree is reported
 	// as −last by the old owner and +current by the new one.
@@ -156,7 +181,7 @@ func New(c *par.Comm, coarseMesh *mesh.Mesh, owner []int32) *Engine {
 		Coarse:  coarseMesh,
 		Owner:   append([]int32(nil), owner...),
 		F:       forest.New(coarseMesh.Dim),
-		cfg:     Config{}.withDefaults(c.Size()),
+		cfg:     Config{}.withDefaults(c),
 		shared:  make(map[forest.VertexID]bool),
 		pending: make(map[refine.EdgeSplit]bool),
 	}
@@ -180,7 +205,7 @@ func New(c *par.Comm, coarseMesh *mesh.Mesh, owner []int32) *Engine {
 }
 
 // SetConfig replaces the engine configuration (call on every rank alike).
-func (e *Engine) SetConfig(cfg Config) { e.cfg = cfg.withDefaults(e.Comm.Size()) }
+func (e *Engine) SetConfig(cfg Config) { e.cfg = cfg.withDefaults(e.Comm) }
 
 // Bootstrap computes an initial partition of the coarse mesh on the
 // coordinator and broadcasts it; every rank then constructs its engine.
@@ -482,8 +507,28 @@ func (e *Engine) rebalancePNR(st *RebalanceStats) (newOwner []int32, d1, d2, d3 
 
 	// --- P2: weights reach the coordinator; P3: it repartitions G and the
 	// new assignment comes back. Incremental mode moves deltas both ways;
-	// scratch mode moves full reports and the full owner map.
-	if e.cfg.Scratch {
+	// scratch mode moves full reports and the full owner map. Under
+	// DistRefine (distActive) there is no coordinator: P2 is an all-gather,
+	// every rank holds the whole weighted G, and P3 is a collective
+	// repartition whose owner map materializes replicated — nothing to
+	// broadcast back.
+	if e.cfg.Scratch && e.cfg.distActive {
+		var reports []any
+		d2 = timed(func() {
+			send := make([]any, e.Comm.Size())
+			for i := range send {
+				send[i] = rep
+			}
+			reports = e.Comm.Alltoall(send)
+		})
+		e.trace("P2 allgather: full reports in %v", d2)
+		d3 = timed(func() {
+			g := buildG(e.Coarse.NumElems(), reports)
+			st.CutBefore = partition.EdgeCut(g, e.Owner)
+			newOwner = e.cfg.Repartition(g, e.Owner, e.Comm.Size())
+			st.CutAfter = partition.EdgeCut(g, newOwner)
+		})
+	} else if e.cfg.Scratch {
 		var reports []any
 		d2 = timed(func() { reports = e.Comm.Gather(0, rep) })
 		e.trace("P2 gather: full reports in %v", d2)
@@ -498,6 +543,23 @@ func (e *Engine) rebalancePNR(st *RebalanceStats) (newOwner []int32, d1, d2, d3 
 		})
 		st.CutBefore = e.Comm.Bcast(0, st.CutBefore).(int64)
 		st.CutAfter = e.Comm.Bcast(0, st.CutAfter).(int64)
+	} else if e.cfg.distActive {
+		var deltas [][]int64
+		var nd int
+		d2 = timed(func() {
+			delta := e.deltaReport(rep)
+			nd = len(delta)
+			deltas = e.Comm.AllGatherInt64(delta)
+		})
+		e.trace("P2 allgather: %d delta words in %v", nd, d2)
+		d3 = timed(func() {
+			g := e.coordinatorGraph(deltas)
+			st.CutBefore = partition.EdgeCut(g, e.Owner)
+			newOwner = e.cfg.Repartition(g, e.Owner, e.Comm.Size())
+			st.CutAfter = partition.EdgeCut(g, newOwner)
+		})
+		e.assertPatchedG(rep)
+		e.trace("P3 replicated repartition: no owner broadcast")
 	} else {
 		var deltas [][]int64
 		var nd int
@@ -697,8 +759,11 @@ func (e *Engine) deltaReport(rep weightReport) []int64 {
 	return out
 }
 
-// coordinatorGraph returns rank 0's cached coarse dual graph with all ranks'
-// deltas applied. The topology is built once from the replicated coarse mesh
+// coordinatorGraph returns this rank's cached coarse dual graph with all
+// ranks' deltas applied — rank 0's under the coordinator pipeline, every
+// rank's under DistRefine (the deltas arrive all-gathered in rank order, so
+// the fold is identical everywhere).
+// The topology is built once from the replicated coarse mesh
 // — G's adjacency is invariant for the run, because adaptation only changes
 // how many leaf pairs realize each coarse facet, never which coarse elements
 // share one — and only the weights are patched thereafter.

@@ -1,0 +1,61 @@
+package pared
+
+import (
+	"fmt"
+	"testing"
+
+	"pared/internal/meshgen"
+	"pared/internal/par"
+)
+
+// TestCheapSkipThenNoOpMigrateKeepsForest drives the two skip layers of the
+// rebalance path in one epoch sequence: trigger-gated calls on a balanced
+// mesh must stop at the fused imbalance probe (cheap-skip counter), and a
+// forced epoch whose repartition moves nothing must take migrate()'s
+// send-0/recv-0 early return — in both cases without rebuilding the refiner
+// or the forest. The refiner pointer is the white-box witness: migrate()
+// recreates it whenever any tree moves, so identity across the whole
+// sequence proves no rebuild happened on any skip path.
+func TestCheapSkipThenNoOpMigrateKeepsForest(t *testing.T) {
+	m := meshgen.RectTri(8, 8, -1, -1, 1, 1)
+	err := par.Run(4, func(c *par.Comm) {
+		e := Bootstrap(c, m)
+		r0, f0 := e.R, e.F
+		// Balanced bootstrap: trigger-gated epochs take the probe-only skip.
+		for i := 0; i < 2; i++ {
+			if st := e.Rebalance(false); st.Ran {
+				panic("balanced mesh still rebalanced")
+			}
+		}
+		if e.CheapSkips != 2 {
+			panic(fmt.Sprintf("CheapSkips = %d, want 2", e.CheapSkips))
+		}
+		if e.R != r0 || e.F != f0 {
+			panic("cheap-skip epoch rebuilt the refiner or forest")
+		}
+		// Forced epoch on the unchanged balanced mesh: the full P1–P3
+		// pipeline runs, the repartition keeps every tree in place (moving
+		// anything would pay the migration term for nothing), and migrate()
+		// must skip the rebuild on its local send-0/recv-0 knowledge.
+		st := e.Rebalance(true)
+		if !st.Ran {
+			panic("forced rebalance did not run")
+		}
+		if st.MovedTrees != 0 {
+			panic(fmt.Sprintf("no-drift forced rebalance moved %d trees", st.MovedTrees))
+		}
+		if e.R != r0 || e.F != f0 {
+			panic("send-0/recv-0 epoch rebuilt the refiner or forest")
+		}
+		if e.CheapSkips != 2 {
+			panic("forced rebalance miscounted as a cheap skip")
+		}
+		// The skipped rebuild must be invisible to every later invariant.
+		if err := e.CheckConsistency(); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -209,7 +209,13 @@ func (e *Engine) rebalanceSFC(st *RebalanceStats) (newOwner []int32, d1, d2, d3 
 		})
 		e.trace("P2 gather: full weights (non-band-form owner) in %v (sfc fallback)", d2)
 		d3 = timed(func() {
-			s.newOwner = sfc.Assign(s.order, s.fullVW, e.Owner, p, snap, s.newOwner, &s.assignScratch)
+			// The one place the full weight vector is in hand is the one
+			// place weighted cuts are computable.
+			if e.cfg.SFC.WeightedCuts {
+				s.newOwner = sfc.AssignWeighted(s.order, s.fullVW, e.Owner, p, snap, s.newOwner, &s.assignScratch)
+			} else {
+				s.newOwner = sfc.Assign(s.order, s.fullVW, e.Owner, p, snap, s.newOwner, &s.assignScratch)
+			}
 			newOwner = s.newOwner
 		})
 		e.trace("P3 full assign in %v (sfc fallback path)", d3)
@@ -237,7 +243,11 @@ func BootstrapWith(c *par.Comm, coarseMesh *mesh.Mesh, cfg Config) *Engine {
 			vw[i] = 1
 		}
 		var scratch sfc.AssignScratch
-		owner = sfc.Assign(order, vw, nil, c.Size(), false, nil, &scratch)
+		if cfg.SFC.WeightedCuts {
+			owner = sfc.AssignWeighted(order, vw, nil, c.Size(), false, nil, &scratch)
+		} else {
+			owner = sfc.Assign(order, vw, nil, c.Size(), false, nil, &scratch)
+		}
 	} else {
 		if c.Rank() == 0 {
 			g := graph.FromDual(coarseMesh)
