@@ -55,11 +55,11 @@ bench-json:
 # Regression guard over the committed baseline: two fresh quick runs, scored
 # best-of-2, must stay within 20% of BENCH_pnr.json on the guarded
 # experiments (see cmd/benchguard). The engine runs in every rebalance mode
-# (-mode all emits engine, engine_sfc, engine_sfc_3d, engine_mlkl and
-# engine_distrefine records), and the coordinator pipeline, the
-# coordinator-free SFC pipeline (2D and 3D keys) and the distributed
-# refinement pipeline are all guarded, so a regression in any rebalance path
-# fails CI on every PR.
+# (-mode all emits engine, engine_sfc, engine_sfc_3d, engine_mlkl,
+# engine_distrefine and engine_hier records), and the coordinator pipeline,
+# the coordinator-free SFC pipeline (2D and 3D keys), the distributed
+# refinement pipeline and the hierarchical node × core pipeline are all
+# guarded, so a regression in any rebalance path fails CI on every PR.
 bench-guard:
 	$(GO) run ./cmd/pnrbench -exp fig4 -quick -json /tmp/benchguard1.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard2.json > /dev/null
@@ -67,17 +67,19 @@ bench-guard:
 	$(GO) run ./cmd/pnrbench -exp transient -quick -json /tmp/benchguard4.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard5.json > /dev/null
 	$(GO) run ./cmd/pnrbench -exp engine -mode all -quick -json /tmp/benchguard6.json > /dev/null
-	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc,engine_sfc_3d,engine_distrefine \
+	$(GO) run ./cmd/benchguard -baseline BENCH_pnr.json -records fig4,transient,engine,engine_sfc,engine_sfc_3d,engine_distrefine,engine_hier \
 		/tmp/benchguard1.json /tmp/benchguard2.json /tmp/benchguard3.json \
 		/tmp/benchguard4.json /tmp/benchguard5.json /tmp/benchguard6.json
 
 # Allocation budget of the hot-path packages. BENCH_allocs.json pins
-# allocs/op for every benchmark of kern/la/graph/core/partition-sfc;
+# allocs/op for every benchmark of kern/la/graph/core/partition-sfc/par;
 # regenerate it with bench-alloc-baseline after a deliberate change to an
 # allocation profile. The SFC sort and band-assignment kernels are pinned at
 # zero allocations: the coordinator-free rebalance path must stay heap-silent
-# in steady state.
-ALLOC_PKGS = ./internal/kern ./internal/la ./internal/graph ./internal/core ./internal/partition/sfc
+# in steady state. So are the par scalar subgroup collectives and the
+# subgroup move exchange: sub-communicator traffic reuses per-Comm scratch,
+# and the hierarchical rebalance path leans on that every epoch.
+ALLOC_PKGS = ./internal/kern ./internal/la ./internal/graph ./internal/core ./internal/partition/sfc ./internal/par
 
 bench-alloc-baseline:
 	$(GO) test -run '^$$' -bench . -benchmem $(ALLOC_PKGS) > /tmp/allocguard0.txt

@@ -2,14 +2,17 @@
 // chosen problem: goroutine ranks bootstrap from a coordinator-computed
 // partition, adapt with cross-rank conformal refinement, and rebalance with
 // PNR, RSB or Multilevel-KL at the coordinator — coordinator-free with
-// space-filling-curve bands (-algo sfc) — or with PNR's refinement sweeps
-// rank-distributed and deterministically resolved (-algo distrefine).
+// space-filling-curve bands (-algo sfc) — with PNR's refinement sweeps
+// rank-distributed and deterministically resolved (-algo distrefine) — or
+// hierarchically over a two-level node × core topology (-algo hier, shaped
+// by -topo, e.g. -topo 4x2 for 4 nodes of 2 cores).
 //
 // Usage:
 //
 //	pared -p 8 -problem corner -steps 6
 //	pared -p 16 -problem transient -steps 40 -algo rsb
 //	pared -p 16 -problem transient -steps 40 -algo sfc
+//	pared -p 8 -problem transient -steps 40 -algo hier -topo 2x4
 package main
 
 import (
@@ -31,7 +34,9 @@ import (
 func main() {
 	p := flag.Int("p", 8, "number of ranks")
 	problem := flag.String("problem", "corner", "corner|transient")
-	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl|sfc|distrefine (sfc is coordinator-free, distrefine rank-splits the PNR refinement sweeps)")
+	algo := flag.String("algo", "pnr", "repartitioner: pnr|rsb|mlkl|sfc|distrefine|hier (sfc is coordinator-free, distrefine rank-splits the PNR refinement sweeps, hier partitions two-level over -topo)")
+	topo := flag.String("topo", "", "hier topology as NxC (nodes x cores per node, N*C = -p); empty picks the most balanced factorization")
+	penalty := flag.Float64("penalty", 0, "hier inter-node edge penalty (0 = default 4)")
 	grid := flag.Int("grid", 20, "initial mesh resolution")
 	steps := flag.Int("steps", 6, "adaptation steps")
 	tol := flag.Float64("tol", 5e-3, "refinement tolerance")
@@ -41,10 +46,13 @@ func main() {
 
 	var repart pared.Repartitioner
 	sfcMode := false
+	hierMode := false
 	distRefine := false
 	switch *algo {
 	case "sfc":
 		sfcMode = true
+	case "hier":
+		hierMode = true
 	case "distrefine":
 		// Leave Repartition nil: DistRefine applies to the default
 		// repartitioner only, and the engine wires its communicator in.
@@ -64,6 +72,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pared: unknown algorithm %q\n", *algo)
 		os.Exit(2)
+	}
+	topology := pared.Topology{InterNodePenalty: *penalty}
+	if *topo != "" {
+		if n, err := fmt.Sscanf(*topo, "%dx%d", &topology.Nodes, &topology.CoresPerNode); n != 2 || err != nil {
+			fmt.Fprintf(os.Stderr, "pared: -topo wants NxC (e.g. 4x2), got %q\n", *topo)
+			os.Exit(2)
+		}
+		if topology.Nodes*topology.CoresPerNode != *p {
+			fmt.Fprintf(os.Stderr, "pared: -topo %s does not factor %d ranks\n", *topo, *p)
+			os.Exit(2)
+		}
 	}
 
 	estimator := func(step int) refine.Estimator {
@@ -90,6 +109,9 @@ func main() {
 		cfg := pared.Config{Repartition: repart, ImbalanceTrigger: *trigger, DistRefine: distRefine}
 		if sfcMode {
 			cfg = pared.Config{Mode: pared.ModeSFC, ImbalanceTrigger: *trigger}
+		}
+		if hierMode {
+			cfg = pared.Config{Mode: pared.ModeHier, Topology: topology, ImbalanceTrigger: *trigger}
 		}
 		if *traceOn {
 			cfg.Trace = tracePrinter.Println

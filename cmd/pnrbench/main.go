@@ -11,9 +11,11 @@
 // Experiments: fig1, fig3, fig4, fig5, threeway (PNR vs SFC vs ML-KL),
 // fig45_3d, transient (figs 6-8), bound8, thm61, engine, ablation, geo,
 // diffusion, all. The engine experiment runs once per rebalance mode selected
-// by -mode (pnr, sfc, mlkl, or all), emitting records engine, engine_sfc,
-// engine_sfc_3d (the SFC pipeline on a tetrahedral box, exercising the 3D
-// curve keys) and engine_mlkl.
+// by -mode (pnr, sfc, mlkl, distrefine, hier, or all); the emitted records
+// (engine, engine_sfc, engine_sfc_3d, engine_mlkl, engine_distrefine,
+// engine_hier) come from the engineModes registry below, which -mode
+// validation and the `all` expansion share — a registered mode cannot be
+// silently dropped from either.
 //
 // With -json, a machine-readable performance report (wall time and heap
 // allocation per experiment, plus run metadata) is written to the given
@@ -50,6 +52,33 @@ type benchRecord struct {
 	P2Ms          float64 `json:"p2_ms,omitempty"`
 	P3Ms          float64 `json:"p3_ms,omitempty"`
 	RebalanceMode string  `json:"rebalance_mode,omitempty"`
+	// Hierarchical-mode extras (engine_hier only): the split of P3's
+	// repartition time into the node-level phase A and the intra-group phase
+	// B, and the final cut decomposed into inter-node vs intra-node weight.
+	HierAMs  float64 `json:"hier_a_ms,omitempty"`
+	HierBMs  float64 `json:"hier_b_ms,omitempty"`
+	Cut      int64   `json:"cut,omitempty"`
+	InterCut int64   `json:"inter_cut,omitempty"`
+	IntraCut int64   `json:"intra_cut,omitempty"`
+}
+
+// engineModes is the single registry of engine rebalance modes: the -mode
+// flag's validation, the record names, and the `-mode all` expansion are all
+// derived from it, so registering a new mode here is sufficient for it to
+// appear everywhere (the old hand-built list let a new mode be silently
+// dropped from `all`). An empty emode resolves against -scratch at run time.
+var engineModes = []struct {
+	mode   string // -mode value selecting this run
+	record string // benchmark record name
+	emode  string // experiments engine mode ("" = incremental/scratch per -scratch)
+	threeD bool   // drive EngineDemo3D instead of EngineDemo
+}{
+	{mode: "pnr", record: "engine"},
+	{mode: "sfc", record: "engine_sfc", emode: "sfc"},
+	{mode: "sfc", record: "engine_sfc_3d", emode: "sfc", threeD: true},
+	{mode: "mlkl", record: "engine_mlkl", emode: "mlkl"},
+	{mode: "distrefine", record: "engine_distrefine", emode: "distrefine"},
+	{mode: "hier", record: "engine_hier", emode: "hier"},
 }
 
 // benchReport is the -json output: run metadata plus one record per
@@ -71,7 +100,7 @@ func main() {
 	svg := flag.String("svg", "", "directory for SVG mesh renderings (fig1, transient)")
 	jsonOut := flag.String("json", "", "write per-experiment wall time and allocation stats to this JSON file")
 	scratch := flag.Bool("scratch", false, "run the engine experiment on the from-scratch rebalance pipeline instead of the incremental one")
-	mode := flag.String("mode", "all", "engine rebalance mode: pnr|sfc|mlkl|distrefine|all (all emits one record per mode)")
+	mode := flag.String("mode", "all", "engine rebalance mode: pnr|sfc|mlkl|distrefine|hier|all (all emits one record per registered mode)")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -127,8 +156,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnrbench: unknown experiment %q (want one of %s)\n", *exp, known)
 		os.Exit(2)
 	}
-	if !strings.Contains("pnr sfc mlkl distrefine all", *mode) {
-		fmt.Fprintf(os.Stderr, "pnrbench: unknown mode %q (want pnr, sfc, mlkl, distrefine or all)\n", *mode)
+	modeKnown := *mode == "all"
+	modeNames := []string{}
+	for _, em := range engineModes {
+		if len(modeNames) == 0 || modeNames[len(modeNames)-1] != em.mode {
+			modeNames = append(modeNames, em.mode)
+		}
+		if em.mode == *mode {
+			modeKnown = true
+		}
+	}
+	if !modeKnown {
+		fmt.Fprintf(os.Stderr, "pnrbench: unknown mode %q (want %s or all)\n",
+			*mode, strings.Join(modeNames, ", "))
 		os.Exit(2)
 	}
 
@@ -146,33 +186,22 @@ func main() {
 	run("transient3d", func() { experiments.Transient3D(w, scale) })
 	run("bound8", func() { experiments.Section8(w, scale) })
 	run("thm61", func() { experiments.Theorem61(w, scale) })
-	// The engine experiment runs once per requested rebalance mode, each as
-	// its own record so benchguard tracks the pipelines independently.
+	// The engine experiment runs once per requested rebalance mode — every
+	// registry entry whose mode is selected — each as its own record so
+	// benchguard tracks the pipelines independently.
 	pnrMode := "incremental"
 	if *scratch {
 		pnrMode = "scratch"
 	}
-	type engineRun struct {
-		record, emode string
-		threeD        bool
-	}
-	engineRuns := []engineRun{}
-	if *mode == "all" || *mode == "pnr" {
-		engineRuns = append(engineRuns, engineRun{record: "engine", emode: pnrMode})
-	}
-	if *mode == "all" || *mode == "sfc" {
-		engineRuns = append(engineRuns, engineRun{record: "engine_sfc", emode: "sfc"})
-		engineRuns = append(engineRuns, engineRun{record: "engine_sfc_3d", emode: "sfc", threeD: true})
-	}
-	if *mode == "all" || *mode == "mlkl" {
-		engineRuns = append(engineRuns, engineRun{record: "engine_mlkl", emode: "mlkl"})
-	}
-	if *mode == "all" || *mode == "distrefine" {
-		engineRuns = append(engineRuns, engineRun{record: "engine_distrefine", emode: "distrefine"})
-	}
-	for _, er := range engineRuns {
-		var ph experiments.EnginePhases
+	for _, er := range engineModes {
+		if *mode != "all" && *mode != er.mode {
+			continue
+		}
 		emode, threeD := er.emode, er.threeD
+		if emode == "" {
+			emode = pnrMode
+		}
+		var ph experiments.EnginePhases
 		run(er.record, func() {
 			if threeD {
 				ph = experiments.EngineDemo3D(w, scale, emode)
@@ -185,6 +214,8 @@ func main() {
 				r := &report.Records[i]
 				r.P1Ms, r.P2Ms, r.P3Ms = ph.P1Ms, ph.P2Ms, ph.P3Ms
 				r.RebalanceMode = ph.Mode
+				r.HierAMs, r.HierBMs = ph.HierAMs, ph.HierBMs
+				r.Cut, r.InterCut, r.IntraCut = ph.Cut, ph.InterCut, ph.IntraCut
 			}
 		}
 	}

@@ -16,17 +16,27 @@ import (
 
 // EnginePhases is EngineDemo's cost breakdown: rank 0's cumulative wall time
 // per repartitioning phase, and which rebalance pipeline produced it
-// ("incremental", "scratch", "sfc" or "mlkl").
+// ("incremental", "scratch", "sfc", "mlkl", "distrefine" or "hier"). Cut is
+// the edge cut after the last rebalance that ran, comparable across modes.
+// The hierarchical pipeline additionally reports the split of P3's
+// repartition time into its two levels (HierAMs + HierBMs, both inside P3Ms)
+// and the cut decomposition Cut = InterCut + IntraCut, where only InterCut
+// crosses node boundaries.
 type EnginePhases struct {
-	P1Ms, P2Ms, P3Ms float64
-	Mode             string
+	P1Ms, P2Ms, P3Ms   float64
+	Mode               string
+	HierAMs, HierBMs   float64
+	Cut                int64
+	InterCut, IntraCut int64
 }
 
 // engineConfig maps an EngineDemo mode name onto an engine configuration:
 // "incremental" and "scratch" are the PNR pipeline variants, "sfc" the
 // coordinator-free curve pipeline, "mlkl" the coordinator pipeline with the
 // direct multilevel-KL repartitioner substituted for PNR, "distrefine" the
-// incremental pipeline with the refinement sweep distributed across ranks.
+// incremental pipeline with the refinement sweep distributed across ranks,
+// "hier" the two-level node × core pipeline over sub-communicators (default
+// topology: the most balanced factorization of p).
 func engineConfig(mode string) pared.Config {
 	switch mode {
 	case "scratch":
@@ -39,6 +49,8 @@ func engineConfig(mode string) pared.Config {
 		}}
 	case "distrefine":
 		return pared.Config{DistRefine: true}
+	case "hier":
+		return pared.Config{Mode: pared.ModeHier}
 	default:
 		return pared.Config{}
 	}
@@ -94,6 +106,7 @@ func engineDemo(w io.Writer, m0 *mesh.Mesh, steps, p int, tol float64, mode stri
 	ph := EnginePhases{Mode: mode}
 	err := par.Run(p, func(c *par.Comm) {
 		e := pared.BootstrapWith(c, m0, engineConfig(mode))
+		var lastCut int64
 		for step := 0; step < steps; step++ {
 			tt := -0.5 + float64(step)/float64(steps-1)
 			est := fem.InterpolationEstimator(sol(tt))
@@ -105,6 +118,9 @@ func engineDemo(w io.Writer, m0 *mesh.Mesh, steps, p int, tol float64, mode stri
 			}
 			before := e.Imbalance()
 			st := e.Rebalance(false)
+			if st.Ran {
+				lastCut = st.CutAfter
+			}
 			if c.Rank() == 0 {
 				t.AddRow(step, fmt.Sprintf("%.2f", tt), ast.GlobalLeaves, ast.Rounds,
 					fmt.Sprintf("%.3f", before), st.MovedElements, st.MovedTrees,
@@ -118,6 +134,12 @@ func engineDemo(w io.Writer, m0 *mesh.Mesh, steps, p int, tol float64, mode stri
 			ph.P1Ms = float64(e.Phases.P1.Microseconds()) / 1000
 			ph.P2Ms = float64(e.Phases.P2.Microseconds()) / 1000
 			ph.P3Ms = float64(e.Phases.P3.Microseconds()) / 1000
+			ph.HierAMs = float64(e.Phases.HierA.Microseconds()) / 1000
+			ph.HierBMs = float64(e.Phases.HierB.Microseconds()) / 1000
+			ph.InterCut, ph.IntraCut = e.LastInterCut, e.LastIntraCut
+			// The final cut is comparable across modes; for hier it equals
+			// InterCut + IntraCut, and only InterCut crosses node boundaries.
+			ph.Cut = lastCut
 		}
 	})
 	if err != nil {

@@ -58,7 +58,13 @@ var collectiveNames = map[string]bool{
 	"GatherInt32":        true,
 	"GatherInt64":        true,
 	"BcastInt32":         true,
+	"BcastInt64":         true,
 	"AlltoallBytes":      true,
+	// Split is a collective on the PARENT communicator: every parent rank
+	// must call it (colors may differ; the call may not be skipped) or the
+	// subgroup numbering exchange deadlocks. Collectives on the *result* are
+	// scoped to the subgroup — see the membership-guard rule in collective.go.
+	"Split": true,
 }
 
 // kernEntryNames are the kern entry points that run a caller-supplied body on
@@ -235,6 +241,18 @@ func isCommMethod(fn *types.Func) (string, bool) {
 func isCollective(fn *types.Func) bool {
 	name, ok := isCommMethod(fn)
 	return ok && collectiveNames[name]
+}
+
+// isParComm reports whether t is *par.Comm — the communicator handle whose
+// nil-ness encodes subgroup membership after Split.
+func isParComm(t types.Type) bool {
+	pt, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := pt.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Comm" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == parPath
 }
 
 // isRankCall reports whether call reads the rank: (*par.Comm).Rank().

@@ -20,6 +20,19 @@ import (
 // internal/par itself, whose collective implementations are necessarily
 // rank-dependent (root vs leaf roles) and are covered by the runtime
 // cross-check (assertSameCollective) instead.
+//
+// Sub-communicators (Comm.Split) refine the contract: a collective on a
+// subgroup comm is symmetric iff all ranks OF THAT SUBGROUP reach it. Split
+// hands nil to excluded ranks, so a nil test on the comm variable is the
+// membership predicate itself — rank-tainted (the color is rank-derived),
+// yet the canonical gate of the leader-comm idiom:
+//
+//	leaders := c.Split(lcolor, key) // lcolor < 0 off-leader
+//	if leaders != nil { leaders.AllGatherInt64(x) }
+//
+// Such a guard admits collectives on the tested comm only. A collective on
+// any OTHER comm inside the member arm (or on the parent in the nil arm) is
+// still a deadlock — the ranks outside the subgroup never reach it.
 var Collective = &Check{
 	Name: "collective",
 	Doc:  "par.Comm collectives must not be reachable only under rank-dependent control flow",
@@ -43,10 +56,15 @@ func runCollective(p *Pass) {
 	}
 }
 
-// guard describes why a region is rank-dependent, for the diagnostic.
+// guard describes why a region is rank-dependent, for the diagnostic. A
+// membership guard (a nil test on a Split result) additionally names the
+// comm whose subgroup the region belongs to: collectives on that comm are
+// symmetric across exactly the ranks that enter the region, so checkCall
+// admits them while still reporting collectives on every other comm.
 type guard struct {
-	pos  token.Pos
-	desc string // "branch", "loop bound", "early return"
+	pos        token.Pos
+	desc       string     // "branch", "loop bound", "early return", "subgroup membership ..."
+	memberComm *types.Var // non-nil: collectives on this comm are in-contract here
 }
 
 type collectiveWalker struct {
@@ -57,14 +75,21 @@ type collectiveWalker struct {
 // block walks the statements of b under the given guard. A rank-gated
 // statement whose body terminates (return/continue/break/panic) promotes the
 // guard onto the REST of the block: `if c.Rank() > 0 { return }` makes every
-// following statement rank-dependent.
+// following statement rank-dependent. The membership form
+// `if sub == nil { return }` promotes a membership guard instead — the rest
+// of the block runs on every subgroup member, so collectives on sub stay
+// in-contract.
 func (cw *collectiveWalker) block(b *ast.BlockStmt, g *guard) {
 	cur := g
 	for _, s := range b.List {
 		cw.stmt(s, cur)
 		if ifs, ok := s.(*ast.IfStmt); ok && cur == nil {
-			if cw.tainted(ifs.Cond) && terminates(ifs.Body) && ifs.Else == nil {
-				cur = &guard{pos: ifs.Cond.Pos(), desc: "early return"}
+			if terminates(ifs.Body) && ifs.Else == nil {
+				if v, member := commNilCheck(cw.p, ifs.Cond); v != nil && !member {
+					cur = &guard{pos: ifs.Cond.Pos(), desc: "subgroup membership early return", memberComm: v}
+				} else if cw.tainted(ifs.Cond) {
+					cur = &guard{pos: ifs.Cond.Pos(), desc: "early return"}
+				}
 			}
 		}
 	}
@@ -77,13 +102,38 @@ func (cw *collectiveWalker) stmt(s ast.Stmt, g *guard) {
 			cw.stmt(s.Init, g)
 		}
 		cw.exprs(g, s.Cond)
-		inner := g
-		if inner == nil && cw.tainted(s.Cond) {
-			inner = &guard{pos: s.Cond.Pos(), desc: "branch"}
+		bodyG, elseG := g, g
+		if v, member := commNilCheck(cw.p, s.Cond); v != nil && g == nil {
+			// Membership branch. Recognized whether or not the comm variable
+			// is rank-tainted: the taint analysis tracks data flow only, and
+			// the canonical color computation (`lcolor := -1; if rank == 0 {
+			// lcolor = 0 }`) hides the rank behind control flow — but a nil
+			// *par.Comm only ever means "this rank is outside the subgroup",
+			// which is rank-dependent by construction. The arm holding the
+			// members may use the tested comm; the other arm stays an
+			// ordinary guarded region.
+			bodyG = &guard{pos: s.Cond.Pos(), desc: "subgroup membership branch"}
+			elseG = &guard{pos: s.Cond.Pos(), desc: "subgroup membership branch"}
+			if member {
+				bodyG.memberComm = v
+			} else {
+				elseG.memberComm = v
+			}
+		} else if cw.tainted(s.Cond) {
+			if g == nil {
+				ng := &guard{pos: s.Cond.Pos(), desc: "branch"}
+				bodyG, elseG = ng, ng
+			} else if g.memberComm != nil {
+				// A further rank test inside a member arm is rank-dependent
+				// WITHIN the subgroup: the membership exemption does not
+				// survive it.
+				ng := &guard{pos: s.Cond.Pos(), desc: "branch"}
+				bodyG, elseG = ng, ng
+			}
 		}
-		cw.block(s.Body, inner)
+		cw.block(s.Body, bodyG)
 		if s.Else != nil {
-			cw.stmt(s.Else, inner)
+			cw.stmt(s.Else, elseG)
 		}
 	case *ast.ForStmt:
 		if s.Init != nil {
@@ -206,6 +256,14 @@ func (cw *collectiveWalker) checkCall(call *ast.CallExpr, g *guard) {
 	}
 	gline := cw.p.Fset.Position(g.pos).Line
 	if isCollective(fn) {
+		if g.memberComm != nil {
+			// Membership region: a collective whose receiver is the guarding
+			// comm runs on every rank of that subgroup — in-contract.
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				varOf(cw.p.Info, sel.X) == g.memberComm {
+				return
+			}
+		}
 		cw.p.Reportf(call.Pos(),
 			"collective %s is reachable only under rank-dependent control (%s at line %d): every rank must call collectives in the same order",
 			displayName(fn), g.desc, gline)

@@ -98,6 +98,34 @@ func exprRankTainted(p *Pass, e ast.Expr, taint map[*types.Var]bool) bool {
 	return found
 }
 
+// commNilCheck recognizes a subgroup-membership test: a *par.Comm variable
+// compared against nil. Split returns nil on the ranks its color excludes
+// (the MPI_UNDEFINED convention), so such a branch partitions ranks by
+// subgroup membership rather than by an arbitrary rank predicate — the
+// collective and spmd checks treat it specially whether or not the variable
+// is rank-tainted (the canonical color computation hides the rank behind
+// control flow, which the data-flow taint cannot see). member reports which
+// arm holds the subgroup members: true for `sub != nil`, false for
+// `sub == nil`.
+func commNilCheck(p *Pass, cond ast.Expr) (v *types.Var, member bool) {
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	operand := be.X
+	if !p.Info.Types[be.Y].IsNil() {
+		if !p.Info.Types[be.X].IsNil() {
+			return nil, false
+		}
+		operand = be.Y
+	}
+	cv := varOf(p.Info, operand)
+	if cv == nil || !isParComm(cv.Type()) {
+		return nil, false
+	}
+	return cv, be.Op == token.NEQ
+}
+
 // terminates conservatively decides whether executing s never falls through
 // to the statement after it (return, break/continue/goto, panic, or a block
 // or if/else ending in one).

@@ -42,6 +42,13 @@ import (
 // once-bound local); literals passed as callbacks are not executed at their
 // mention — the collective check retains its conservative inline rule for
 // those. Deferred calls are modeled at the defer statement.
+//
+// Sub-communicators: a branch on `sub != nil` where sub came from Comm.Split
+// is the subgroup-membership predicate (Split hands nil to excluded ranks).
+// Its arms diverge by design — members and non-members run different
+// schedules on different comms — so spmd does not compare them; the
+// collective check enforces that each arm only uses the comm it may
+// (see the membership-guard rule in collective.go).
 
 // collEvent is one element of a collective trace.
 type collEvent struct {
@@ -430,10 +437,19 @@ func (a *spmdFn) checkBlocks(fnName string, taint map[*types.Var]bool) {
 		}
 		tainted := false
 		for _, c := range b.Conds {
-			if exprRankTainted(a.p, c, taint) {
-				tainted = true
-				break
+			if !exprRankTainted(a.p, c, taint) {
+				continue
 			}
+			if v, _ := commNilCheck(a.p, c); v != nil {
+				// Subgroup membership test (nil check on a Split result):
+				// the arms diverge by construction — the nil side has no
+				// subgroup schedule to compare. The collective check polices
+				// which comm each arm may use; spmd compares schedules only
+				// among ranks that share them.
+				continue
+			}
+			tainted = true
+			break
 		}
 		if !tainted {
 			continue

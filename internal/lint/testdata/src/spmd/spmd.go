@@ -129,3 +129,40 @@ func maybeSync(c *par.Comm, hot bool) {
 		c.Barrier()
 	}
 }
+
+// badGatedSplit: Split is a collective on the parent comm; a rank-gated
+// Split diverges the parent schedule like any other collective.
+func badGatedSplit(c *par.Comm) {
+	if c.Rank() == 0 { // want "rank-dependent branch diverges the collective schedule"
+		c.Split(0, 0)
+	}
+}
+
+// okMemberBranch: a membership branch on a Split result diverges by
+// construction — the nil side has no subgroup schedule to compare. spmd
+// delegates it to the collective check, which polices which comm each arm
+// may use. No finding.
+func okMemberBranch(c *par.Comm, x []int64) {
+	lcolor := int64(-1)
+	if c.Rank()%2 == 0 {
+		lcolor = 0
+	}
+	sub := c.Split(lcolor, 0)
+	if sub != nil {
+		sub.AllGatherInt64(x)
+	}
+}
+
+// okMemberEarlyReturn: the early-return membership form — members continue
+// into the subgroup collective, excluded ranks leave. No finding.
+func okMemberEarlyReturn(c *par.Comm) {
+	lcolor := int64(-1)
+	if c.Rank()%2 == 0 {
+		lcolor = 0
+	}
+	sub := c.Split(lcolor, 0)
+	if sub == nil {
+		return
+	}
+	sub.Barrier()
+}

@@ -2,9 +2,11 @@
 // communicator with point-to-point sends/receives and the collectives the
 // repartitioning phases need (Barrier, Gather, Bcast, Reduce, AllReduce,
 // Alltoall). Ranks are goroutines in one process; transport is typed Go
-// channels. The paper ran on an IBM SP / NOW over MPI; this layer preserves
-// the programming model — per-rank ownership and explicit communication —
-// without the cluster (see DESIGN.md §2).
+// channels. Communicators can be split into sub-communicators (Split), so
+// hierarchical algorithms can scope collectives to a node group or to the
+// group leaders. The paper ran on an IBM SP / NOW over MPI; this layer
+// preserves the programming model — per-rank ownership and explicit
+// communication — without the cluster (see DESIGN.md §2, §14).
 package par
 
 import (
@@ -21,7 +23,8 @@ type Tag int
 const AnySource = -1
 
 type message struct {
-	src  int
+	comm uint64 // communicator identity; sub-comms share the rank's inbox
+	src  int    // sender's rank within that communicator
 	tag  Tag
 	seq  int64 // collective sequence number (0 for point-to-point traffic)
 	data any
@@ -32,23 +35,54 @@ type message struct {
 	bytes []byte
 }
 
-// Comm is one rank's endpoint of the communicator.
+// worldID is the communicator identity of the top-level comm created by Run.
+// Split derives child identities from it deterministically (see split.go).
+const worldID uint64 = 0
+
+// endpoint is the transport state of one rank goroutine, shared by every
+// communicator that rank belongs to. The sharing is what makes Split safe on
+// the existing transport: parent and child comms deliver into the same
+// physical inbox, so a Recv on one comm that dequeues a message belonging to
+// another must park it where the other comm's Recv will find it — a single
+// pending queue per rank, with matching scoped by communicator identity.
+type endpoint struct {
+	worldRank int
+	// pending holds messages received from the transport but not yet matched
+	// by a Recv (out-of-order tags or other communicators). Matched entries
+	// are tombstoned in place (src = consumedSrc) instead of spliced out, so
+	// a removal never copies the queue tail; pendingHead skips the consumed
+	// prefix, which makes the common FIFO drain O(1) per Recv, and the queue
+	// compacts when tombstones outnumber live entries, which keeps scans
+	// amortized O(live).
+	pending     []message
+	pendingHead int // first slot that may be live
+	pendingDead int // tombstones at or after pendingHead
+}
+
+// Comm is one rank's endpoint of a communicator — the world communicator
+// created by Run, or a sub-communicator created by Split. All comms of one
+// rank share the endpoint (the physical inbox and pending queue); each comm
+// scopes its traffic with its identity and translates its compact rank
+// numbering to world ranks when posting.
 type Comm struct {
 	rank  int
 	size  int
 	world *world
-	// pending holds messages received from the transport but not yet matched
-	// by a Recv (out-of-order tags). Matched entries are tombstoned in place
-	// (src = consumedSrc) instead of spliced out, so a removal never copies
-	// the queue tail; pendingHead skips the consumed prefix, which makes the
-	// common FIFO drain O(1) per Recv, and the queue compacts when tombstones
-	// outnumber live entries, which keeps scans amortized O(live).
-	pending     []message
-	pendingHead int // first slot that may be live
-	pendingDead int // tombstones at or after pendingHead
-	// collSeq counts collective operations; ranks stay in step because every
-	// rank must call collectives in the same order.
+	ep    *endpoint
+	id    uint64
+	// ranks maps this comm's rank numbering to world ranks; nil means the
+	// identity mapping (the world comm).
+	ranks []int32
+	// collSeq counts collective operations on this comm; member ranks stay in
+	// step because every member must call the comm's collectives in the same
+	// order. Independent comms advance independently.
 	collSeq int64
+	// splitSeq counts Split calls on this comm; it feeds the deterministic
+	// child-identity derivation.
+	splitSeq int64
+	// sc holds the reuse-distance-safe scratch for the scalar typed
+	// collectives (see typed.go).
+	sc scalarScratch
 }
 
 // consumedSrc marks a pending slot whose message was already delivered;
@@ -57,52 +91,71 @@ const consumedSrc = -2
 
 // consumePending tombstones slot i and maintains the head/compaction
 // invariants.
-func (c *Comm) consumePending(i int) {
-	c.pending[i].data = nil // release the payload references
-	c.pending[i].i32 = nil
-	c.pending[i].i64 = nil
-	c.pending[i].bytes = nil
-	c.pending[i].src = consumedSrc
-	c.pendingDead++
-	if i == c.pendingHead {
+func (ep *endpoint) consumePending(i int) {
+	ep.pending[i].data = nil // release the payload references
+	ep.pending[i].i32 = nil
+	ep.pending[i].i64 = nil
+	ep.pending[i].bytes = nil
+	ep.pending[i].src = consumedSrc
+	ep.pendingDead++
+	if i == ep.pendingHead {
 		// Advance past the consumed prefix (the FIFO fast path).
-		for c.pendingHead < len(c.pending) && c.pending[c.pendingHead].src == consumedSrc {
-			c.pendingHead++
-			c.pendingDead--
+		for ep.pendingHead < len(ep.pending) && ep.pending[ep.pendingHead].src == consumedSrc {
+			ep.pendingHead++
+			ep.pendingDead--
 		}
-		if c.pendingHead == len(c.pending) {
-			c.pending = c.pending[:0]
-			c.pendingHead = 0
-			c.pendingDead = 0
+		if ep.pendingHead == len(ep.pending) {
+			ep.pending = ep.pending[:0]
+			ep.pendingHead = 0
+			ep.pendingDead = 0
 			return
 		}
 	}
 	// Out-of-order consumption: compact once tombstones dominate, so each
 	// surviving entry is copied at most O(1) times per generation.
-	if live := len(c.pending) - c.pendingHead - c.pendingDead; c.pendingDead > 16 && c.pendingDead >= live {
+	if live := len(ep.pending) - ep.pendingHead - ep.pendingDead; ep.pendingDead > 16 && ep.pendingDead >= live {
 		w := 0
-		for r := c.pendingHead; r < len(c.pending); r++ {
-			if c.pending[r].src != consumedSrc {
-				c.pending[w] = c.pending[r]
+		for r := ep.pendingHead; r < len(ep.pending); r++ {
+			if ep.pending[r].src != consumedSrc {
+				ep.pending[w] = ep.pending[r]
 				w++
 			}
 		}
-		c.pending = c.pending[:w]
-		c.pendingHead = 0
-		c.pendingDead = 0
+		ep.pending = ep.pending[:w]
+		ep.pendingHead = 0
+		ep.pendingDead = 0
 	}
 }
 
 type world struct {
 	size  int
-	boxes []chan message // one inbox per rank
+	boxes []chan message // one inbox per world rank
 }
 
-// Rank returns this processor's rank in [0, Size).
+// Rank returns this processor's rank in [0, Size) within this communicator.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the number of processors.
+// Size returns the number of processors in this communicator.
 func (c *Comm) Size() int { return c.size }
+
+// WorldRank returns the world rank behind this comm's rank r. For the world
+// communicator it is the identity.
+func (c *Comm) WorldRank(r int) int {
+	if c.ranks == nil {
+		return r
+	}
+	return int(c.ranks[r])
+}
+
+// post stamps a message with this comm's identity and the sender's local rank
+// and delivers it to the inbox of the world rank behind dst.
+//
+//pared:hotpath
+func (c *Comm) post(dst int, m message) {
+	m.comm = c.id
+	m.src = c.rank
+	c.world.boxes[c.WorldRank(dst)] <- m
+}
 
 // Send delivers data to rank dst with the given tag. Data is not copied;
 // by convention senders relinquish ownership of anything they send (the
@@ -111,13 +164,13 @@ func (c *Comm) Send(dst int, tag Tag, data any) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("par: Send to invalid rank %d", dst))
 	}
-	c.world.boxes[dst] <- message{src: c.rank, tag: tag, data: data}
+	c.post(dst, message{tag: tag, data: data})
 }
 
 // sendSeq sends a collective message stamped with a sequence number, so that
 // back-to-back collectives of the same kind cannot cross-match.
 func (c *Comm) sendSeq(dst int, tag Tag, seq int64, data any) {
-	c.world.boxes[dst] <- message{src: c.rank, tag: tag, seq: seq, data: data}
+	c.post(dst, message{tag: tag, seq: seq, data: data})
 }
 
 // Recv blocks until a message with the given tag arrives from src
@@ -132,19 +185,22 @@ func (c *Comm) recvSeq(src int, tag Tag, seq int64) (data any, from int) {
 	return m.data, m.src
 }
 
-// recvMsg blocks until a message matching (src, tag, seq) arrives and returns
-// it whole — the typed collectives read their payload lane directly.
+// recvMsg blocks until a message on this comm matching (src, tag, seq)
+// arrives and returns it whole — the typed collectives read their payload
+// lane directly. Messages for sibling communicators of the same rank are
+// parked on the shared pending queue, never dropped.
 func (c *Comm) recvMsg(src int, tag Tag, seq int64) message {
 	match := func(m message) bool {
-		return m.tag == tag && m.seq == seq && (src == AnySource || m.src == src)
+		return m.comm == c.id && m.tag == tag && m.seq == seq && (src == AnySource || m.src == src)
 	}
-	for i := c.pendingHead; i < len(c.pending); i++ {
-		m := c.pending[i]
+	ep := c.ep
+	for i := ep.pendingHead; i < len(ep.pending); i++ {
+		m := ep.pending[i]
 		if m.src == consumedSrc {
 			continue
 		}
 		if match(m) {
-			c.consumePending(i)
+			ep.consumePending(i)
 			return m
 		}
 		if check.Enabled {
@@ -152,26 +208,28 @@ func (c *Comm) recvMsg(src int, tag Tag, seq int64) message {
 		}
 	}
 	for {
-		m := <-c.world.boxes[c.rank]
+		m := <-c.world.boxes[ep.worldRank]
 		if match(m) {
 			return m
 		}
 		if check.Enabled {
 			c.assertSameCollective(m, tag, seq)
 		}
-		c.pending = append(c.pending, m)
+		ep.pending = append(ep.pending, m)
 	}
 }
 
-// assertSameCollective panics when a message for the collective sequence
-// number currently being received carries a different collective tag: some
-// rank entered a different collective at this step. Every tag a rank can
-// legitimately receive at a given sequence number is determined by the
-// collective and the rank's role in it, so a same-seq tag mismatch always
-// means the MPI-style ordering contract was broken — which would otherwise
-// surface as a silent deadlock. Called only under check.Enabled.
+// assertSameCollective panics when a message on THIS communicator for the
+// collective sequence number currently being received carries a different
+// collective tag: some member rank entered a different collective at this
+// step. Every tag a rank can legitimately receive at a given sequence number
+// is determined by the collective and the rank's role in it, so a same-seq
+// tag mismatch always means the MPI-style ordering contract was broken —
+// which would otherwise surface as a silent deadlock. Messages belonging to
+// sibling communicators are exempt: independent comms interleave freely.
+// Called only under check.Enabled.
 func (c *Comm) assertSameCollective(m message, tag Tag, seq int64) {
-	if seq != 0 && m.seq == seq && m.tag != tag {
+	if m.comm == c.id && seq != 0 && m.seq == seq && m.tag != tag {
 		panic(fmt.Sprintf(
 			"paredassert: par: collective mismatch at seq %d: rank %d is receiving tag %d but rank %d sent tag %d — every rank must call collectives in the same order",
 			seq, c.rank, tag, m.src, m.tag))
@@ -203,7 +261,7 @@ func Run(p int, f func(c *Comm)) error {
 					errs[rank] = fmt.Errorf("par: rank %d panicked: %v", rank, x)
 				}
 			}()
-			f(&Comm{rank: rank, size: p, world: w})
+			f(&Comm{rank: rank, size: p, world: w, ep: &endpoint{worldRank: rank}, id: worldID})
 		}(r)
 	}
 	wg.Wait()

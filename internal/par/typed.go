@@ -10,6 +10,18 @@ package par
 // Ownership follows the package convention: senders relinquish what they
 // send. Received slices are shared with the sender (and, for BcastInt32,
 // with every rank), so receivers must treat them as read-only or copy.
+//
+// The scalar collectives (AllReduceMaxSum, AllReduceSumInt64,
+// ExclusiveScanInt64) send their one- and two-word payloads from per-Comm
+// scratch instead of allocating a fresh slice per call, so they are
+// zero-alloc in steady state — on the world comm and on every split comm.
+// Reuse is safe by the same reuse-distance argument as AllGatherMoves: a
+// rank overwrites its up-lane scratch only after it received the down
+// message of the previous round, which the root sent only after reading
+// every up payload of that round; the root overwrites its down-lane scratch
+// only after collecting every up of the NEXT round, which each peer sent
+// only after reading the previous down. The channel send/receive pairs give
+// the happens-before edges, so the reuse is also race-detector-clean.
 
 // Reserved tags continuing the collective range in collectives.go.
 const (
@@ -26,7 +38,18 @@ const (
 	tagAllGatherI32
 	tagAllGatherI64
 	tagAllGatherMoves
+	tagBcastI64
 )
+
+// scalarScratch is the per-Comm send scratch of the scalar collectives.
+// up is the one-word up lane every rank sends toward rank 0; down is the
+// up-to-two-word result lane rank 0 fans back out; scan is rank 0's lazily
+// sized per-rank value/prefix store for ExclusiveScanInt64.
+type scalarScratch struct {
+	up   [1]int64
+	down [2]int64
+	scan []int64 // 2*size at rank 0: values, then per-rank prefix slots
+}
 
 // AllReduceMaxSum combines every rank's value into (max, sum) in one fused
 // round — one gather and one broadcast — where separate AllReduceMax +
@@ -37,7 +60,8 @@ func (c *Comm) AllReduceMaxSum(value int64) (max, sum int64) {
 	c.collSeq++
 	seq := c.collSeq
 	if c.rank != 0 {
-		c.world.boxes[0] <- message{src: c.rank, tag: tagMaxSumUp, seq: seq, i64: []int64{value}}
+		c.sc.up[0] = value
+		c.post(0, message{tag: tagMaxSumUp, seq: seq, i64: c.sc.up[:1]})
 		m := c.recvMsg(0, tagMaxSumDown, seq)
 		return m.i64[0], m.i64[1]
 	}
@@ -50,9 +74,9 @@ func (c *Comm) AllReduceMaxSum(value int64) (max, sum int64) {
 		}
 		sum += v
 	}
-	down := []int64{max, sum}
+	c.sc.down[0], c.sc.down[1] = max, sum
 	for i := 1; i < c.size; i++ {
-		c.world.boxes[i] <- message{src: c.rank, tag: tagMaxSumDown, seq: seq, i64: down}
+		c.post(i, message{tag: tagMaxSumDown, seq: seq, i64: c.sc.down[:2]})
 	}
 	return max, sum
 }
@@ -65,7 +89,8 @@ func (c *Comm) AllReduceSumInt64(value int64) int64 {
 	c.collSeq++
 	seq := c.collSeq
 	if c.rank != 0 {
-		c.world.boxes[0] <- message{src: c.rank, tag: tagSumUp, seq: seq, i64: []int64{value}}
+		c.sc.up[0] = value
+		c.post(0, message{tag: tagSumUp, seq: seq, i64: c.sc.up[:1]})
 		m := c.recvMsg(0, tagSumDown, seq)
 		return m.i64[0]
 	}
@@ -74,9 +99,9 @@ func (c *Comm) AllReduceSumInt64(value int64) int64 {
 		m := c.recvMsg(AnySource, tagSumUp, seq)
 		sum += m.i64[0]
 	}
-	down := []int64{sum}
+	c.sc.down[0] = sum
 	for i := 1; i < c.size; i++ {
-		c.world.boxes[i] <- message{src: c.rank, tag: tagSumDown, seq: seq, i64: down}
+		c.post(i, message{tag: tagSumDown, seq: seq, i64: c.sc.down[:1]})
 	}
 	return sum
 }
@@ -93,11 +118,15 @@ func (c *Comm) ExclusiveScanInt64(value int64) int64 {
 	c.collSeq++
 	seq := c.collSeq
 	if c.rank != 0 {
-		c.world.boxes[0] <- message{src: c.rank, tag: tagScanUp, seq: seq, i64: []int64{value}}
+		c.sc.up[0] = value
+		c.post(0, message{tag: tagScanUp, seq: seq, i64: c.sc.up[:1]})
 		m := c.recvMsg(0, tagScanDown, seq)
 		return m.i64[0]
 	}
-	vals := make([]int64, c.size)
+	if c.sc.scan == nil {
+		c.sc.scan = make([]int64, 2*c.size)
+	}
+	vals, prefixes := c.sc.scan[:c.size], c.sc.scan[c.size:]
 	vals[0] = value
 	for i := 0; i < c.size-1; i++ {
 		m := c.recvMsg(AnySource, tagScanUp, seq)
@@ -106,7 +135,8 @@ func (c *Comm) ExclusiveScanInt64(value int64) int64 {
 	prefix := int64(0)
 	for r := 1; r < c.size; r++ {
 		prefix += vals[r-1]
-		c.world.boxes[r] <- message{src: c.rank, tag: tagScanDown, seq: seq, i64: []int64{prefix}}
+		prefixes[r] = prefix
+		c.post(r, message{tag: tagScanDown, seq: seq, i64: prefixes[r : r+1]})
 	}
 	return 0
 }
@@ -123,7 +153,7 @@ func (c *Comm) AllGatherInt32(xs []int32) [][]int32 {
 	out[c.rank] = xs
 	for i := 0; i < c.size; i++ {
 		if i != c.rank {
-			c.world.boxes[i] <- message{src: c.rank, tag: tagAllGatherI32, seq: seq, i32: xs}
+			c.post(i, message{tag: tagAllGatherI32, seq: seq, i32: xs})
 		}
 	}
 	for i := 0; i < c.size-1; i++ {
@@ -142,7 +172,7 @@ func (c *Comm) AllGatherInt64(xs []int64) [][]int64 {
 	out[c.rank] = xs
 	for i := 0; i < c.size; i++ {
 		if i != c.rank {
-			c.world.boxes[i] <- message{src: c.rank, tag: tagAllGatherI64, seq: seq, i64: xs}
+			c.post(i, message{tag: tagAllGatherI64, seq: seq, i64: xs})
 		}
 	}
 	for i := 0; i < c.size-1; i++ {
@@ -176,7 +206,7 @@ func (c *Comm) AllGatherMoves(moves []int64, views [][]int64, out []int64) []int
 	views[c.rank] = moves
 	for i := 0; i < c.size; i++ {
 		if i != c.rank {
-			c.world.boxes[i] <- message{src: c.rank, tag: tagAllGatherMoves, seq: seq, i64: moves}
+			c.post(i, message{tag: tagAllGatherMoves, seq: seq, i64: moves})
 		}
 	}
 	for i := 0; i < c.size-1; i++ {
@@ -203,7 +233,7 @@ func (c *Comm) GatherInt32(root int, xs []int32) [][]int32 {
 	c.collSeq++
 	seq := c.collSeq
 	if c.rank != root {
-		c.world.boxes[root] <- message{src: c.rank, tag: tagGatherI32, seq: seq, i32: xs}
+		c.post(root, message{tag: tagGatherI32, seq: seq, i32: xs})
 		return nil
 	}
 	out := make([][]int32, c.size)
@@ -220,7 +250,7 @@ func (c *Comm) GatherInt64(root int, xs []int64) [][]int64 {
 	c.collSeq++
 	seq := c.collSeq
 	if c.rank != root {
-		c.world.boxes[root] <- message{src: c.rank, tag: tagGatherI64, seq: seq, i64: xs}
+		c.post(root, message{tag: tagGatherI64, seq: seq, i64: xs})
 		return nil
 	}
 	out := make([][]int64, c.size)
@@ -240,13 +270,31 @@ func (c *Comm) BcastInt32(root int, xs []int32) []int32 {
 	if c.rank == root {
 		for i := 0; i < c.size; i++ {
 			if i != root {
-				c.world.boxes[i] <- message{src: c.rank, tag: tagBcastI32, seq: seq, i32: xs}
+				c.post(i, message{tag: tagBcastI32, seq: seq, i32: xs})
 			}
 		}
 		return xs
 	}
 	m := c.recvMsg(root, tagBcastI32, seq)
 	return m.i32
+}
+
+// BcastInt64 distributes root's []int64 to every rank and returns it, like
+// BcastInt32. The hierarchical rebalance pipeline uses it to fan a node
+// group's combined delta payload from the group leader to the group.
+func (c *Comm) BcastInt64(root int, xs []int64) []int64 {
+	c.collSeq++
+	seq := c.collSeq
+	if c.rank == root {
+		for i := 0; i < c.size; i++ {
+			if i != root {
+				c.post(i, message{tag: tagBcastI64, seq: seq, i64: xs})
+			}
+		}
+		return xs
+	}
+	m := c.recvMsg(root, tagBcastI64, seq)
+	return m.i64
 }
 
 // AlltoallBytes delivers send[i] to rank i and returns the buffers received
@@ -262,7 +310,7 @@ func (c *Comm) AlltoallBytes(send [][]byte) [][]byte {
 	recv[c.rank] = send[c.rank]
 	for i := 0; i < c.size; i++ {
 		if i != c.rank {
-			c.world.boxes[i] <- message{src: c.rank, tag: tagAlltoallB, seq: seq, bytes: send[i]}
+			c.post(i, message{tag: tagAlltoallB, seq: seq, bytes: send[i]})
 		}
 	}
 	for i := 0; i < c.size-1; i++ {

@@ -46,6 +46,10 @@ type Config struct {
 	Mode RebalanceMode
 	// SFC tunes the ModeSFC pipeline (curve choice, band snapping).
 	SFC sfc.Config
+	// Topology shapes the ModeHier pipeline: the node × core factorization of
+	// the rank count and the inter-node edge penalty. The zero value picks the
+	// most balanced factorization and a penalty of 4. Ignored in other modes.
+	Topology Topology
 	// Repartition computes new assignments in P3. Defaults to PNR with the
 	// paper's parameters. Ignored in ModeSFC.
 	Repartition Repartitioner
@@ -93,7 +97,7 @@ func (c Config) withDefaults(comm *par.Comm) Config {
 			// lockstep without any exchange.
 			pnr.Hierarchy = core.NewHierarchy()
 		}
-		if c.DistRefine && c.Mode != ModeSFC {
+		if c.DistRefine && c.Mode != ModeSFC && c.Mode != ModeHier {
 			pnr.DistRefine = comm
 			c.distActive = true
 		}
@@ -103,6 +107,13 @@ func (c Config) withDefaults(comm *par.Comm) Config {
 	}
 	if c.ImbalanceTrigger <= 0 {
 		c.ImbalanceTrigger = 0.05
+	}
+	if c.Mode == ModeHier {
+		c.Topology = c.Topology.withDefaults(comm.Size())
+		if c.Topology.Nodes*c.Topology.CoresPerNode != comm.Size() {
+			panic(fmt.Sprintf("pared: topology %d nodes × %d cores does not factor %d ranks",
+				c.Topology.Nodes, c.Topology.CoresPerNode, comm.Size()))
+		}
 	}
 	return c
 }
@@ -148,6 +159,15 @@ type Engine struct {
 	// sfc caches the curve order and scratch of the ModeSFC pipeline; built
 	// lazily on the first SFC rebalance (see ensureSFC).
 	sfc *sfcState
+	// hier caches the sub-communicators and scratch of the ModeHier pipeline;
+	// built lazily on the first hierarchical rebalance (see ensureHier).
+	hier *hierState
+
+	// LastInterCut and LastIntraCut record the two-level cut decomposition of
+	// the most recent hierarchical rebalance (zero in other modes): total
+	// weight of edges joining different node groups vs. different cores of one
+	// group. Identical on every rank.
+	LastInterCut, LastIntraCut int64
 
 	// CheapSkips counts Rebalance(force=false) calls that returned after the
 	// single fused imbalance probe, before any weight work (see Rebalance).
@@ -159,9 +179,12 @@ type Engine struct {
 
 // PhaseDurations breaks rebalancing cost into the paper's phases: P1 local
 // weight computation, P2 the weight gather, P3 repartitioning plus owner
-// distribution and tree migration.
+// distribution and tree migration. Under ModeHier, HierA and HierB further
+// split P3's repartitioning time into the node-level phase A and the
+// intra-group phase B (both are contained in P3).
 type PhaseDurations struct {
-	P1, P2, P3 time.Duration
+	P1, P2, P3   time.Duration
+	HierA, HierB time.Duration
 }
 
 // Message tags used by the engine (collectives use their own range).
@@ -438,6 +461,10 @@ type RebalanceStats struct {
 	MovedTrees, MovedElements int64
 	// CutBefore and CutAfter are weighted coarse-graph cut sizes.
 	CutBefore, CutAfter int64
+	// InterCut and IntraCut decompose CutAfter in ModeHier: weight of edges
+	// joining different node groups vs. different cores within one group.
+	// Zero in other modes.
+	InterCut, IntraCut int64
 	// Imbalance is the post-step leaf imbalance.
 	Imbalance float64
 }
@@ -468,6 +495,10 @@ func (e *Engine) Rebalance(force bool) RebalanceStats {
 		// Coordinator-free path: curve-band assignment from a distributed
 		// prefix sum (see sfc.go). No gather, no serial repartitioner.
 		newOwner, d1, d2, d3 = e.rebalanceSFC(&st)
+	} else if e.cfg.Mode == ModeHier {
+		// Two-level path: node-group partition plus concurrent per-group
+		// refinement over sub-communicators (see hier.go).
+		newOwner, d1, d2, d3 = e.rebalanceHier(&st)
 	} else {
 		newOwner, d1, d2, d3 = e.rebalancePNR(&st)
 	}

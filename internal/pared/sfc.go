@@ -57,6 +57,12 @@ const (
 	// partitioning from a distributed prefix sum; every rank computes its own
 	// assignment. Config.Repartition and Config.Scratch are ignored.
 	ModeSFC
+	// ModeHier is the hierarchical two-level pipeline (see hier.go): phase A
+	// partitions G among node groups with inter-node edges penalized, phase B
+	// refines each group's induced subgraph over its node sub-communicator.
+	// Config.Topology shapes the levels; Config.Repartition, Config.Scratch
+	// and Config.DistRefine are ignored (the mode is inherently distributed).
+	ModeHier
 )
 
 // sfcState caches everything derivable from the replicated coarse mesh —

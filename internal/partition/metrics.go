@@ -27,6 +27,27 @@ func EdgeCut(g *graph.Graph, parts []int32) int64 {
 	return cut
 }
 
+// TwoLevelCut decomposes the edge cut of a two-level (node × core)
+// assignment: inter is the weight of edges whose endpoints live on different
+// node groups (parts differ in v/coresPerNode), intra the weight of edges cut
+// between cores of one group. inter + intra == EdgeCut(g, parts). The
+// hierarchical repartitioner reports the two separately because they price
+// differently — inter-node edges cross the slow network.
+func TwoLevelCut(g *graph.Graph, parts []int32, coresPerNode int32) (inter, intra int64) {
+	for v := int32(0); v < int32(g.N()); v++ {
+		g.Neighbors(v, func(u int32, w int64) {
+			if v < u && parts[v] != parts[u] {
+				if parts[v]/coresPerNode != parts[u]/coresPerNode {
+					inter += w
+				} else {
+					intra += w
+				}
+			}
+		})
+	}
+	return inter, intra
+}
+
 // PartWeights returns the total vertex weight of each part.
 func PartWeights(g *graph.Graph, parts []int32, p int) []int64 {
 	w := make([]int64, p)
